@@ -1,0 +1,100 @@
+// EXP-DEF — Section 4.1's defective edge coloring, measured: defect(e) <=
+// deg(e)/(2*beta) on every edge, exactly 3*4b(4b+1)/2 color classes, and
+// O(log* X) rounds independent of beta and Delta.
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "src/coloring/defective.hpp"
+#include "src/coloring/initial.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace {
+
+using namespace qplec;
+using namespace qplec::bench;
+
+void print_beta_sweep() {
+  banner("EXP-DEF: defective edge coloring (Section 4.1)",
+         "deg(e)/(2 beta)-defective coloring with 3*4b(4b+1)/2 colors in O(log* X) rounds");
+  Table t({"graph", "Dbar", "beta", "colors", "max defect", "bound max deg/(2b)",
+           "max ratio", "rounds"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  Case cases[] = {
+      {"K_28", make_complete(28)},
+      {"regular n=300 d=20", make_random_regular(300, 20, 5)},
+      {"power-law n=400", make_power_law(400, 2.5, 40.0, 6)},
+  };
+  for (auto& c : cases) {
+    const Graph g = c.g.with_scrambled_ids(
+        static_cast<std::uint64_t>(c.g.num_nodes()) * c.g.num_nodes(), 7);
+    const EdgeSubset all = EdgeSubset::all(g);
+    const InitialColoring init = initial_edge_coloring_from_ids(g);
+    for (const int beta : {1, 2, 4, 8, 16, 32}) {
+      RoundLedger ledger;
+      const DefectiveColoring dc =
+          defective_edge_coloring(g, all, beta, init.colors, init.palette, ledger);
+      int max_def = 0;
+      double max_ratio = 0;
+      all.for_each([&](EdgeId e) {
+        const int defect = edge_defect(g, all, dc.cls, e);
+        max_def = std::max(max_def, defect);
+        const int deg = all.induced_edge_degree(g, e);
+        if (deg > 0) {
+          max_ratio = std::max(max_ratio, defect * 2.0 * beta / deg);
+        }
+      });
+      t.row({c.name, fmt(g.max_edge_degree()), fmt(beta), fmt(dc.num_classes),
+             fmt(max_def), fmt(g.max_edge_degree() / (2.0 * beta), 1),
+             fmt(max_ratio, 3), fmt(static_cast<std::int64_t>(dc.rounds))});
+    }
+  }
+  t.print();
+  std::printf(
+      "Reading: the measured defect never exceeds deg/(2 beta) (ratio <= 1, the\n"
+      "paper's bound); colors grow as O(beta^2) independent of Delta; rounds are\n"
+      "a small constant (1 numbering round + path/cycle 3-coloring at O(log* X)).\n\n");
+}
+
+void print_rounds_vs_ids() {
+  std::printf("Rounds vs id-space size (the log* X term):\n\n");
+  Table t({"id space X", "rounds"});
+  for (const std::uint64_t space : {400ull, 1ull << 16, 1ull << 26, 1ull << 31}) {
+    const Graph g = make_random_regular(200, 12, 3).with_scrambled_ids(
+        std::max<std::uint64_t>(space, 400), 11);
+    const EdgeSubset all = EdgeSubset::all(g);
+    const InitialColoring init = initial_edge_coloring_from_ids(g);
+    RoundLedger ledger;
+    const auto dc =
+        defective_edge_coloring(g, all, 4, init.colors, init.palette, ledger);
+    t.row({fmt(static_cast<std::uint64_t>(space)), fmt(static_cast<std::int64_t>(dc.rounds))});
+  }
+  t.print();
+}
+
+void bm_defective(benchmark::State& state) {
+  const int beta = static_cast<int>(state.range(0));
+  const Graph g = make_random_regular(300, 20, 5).with_scrambled_ids(90000, 7);
+  const EdgeSubset all = EdgeSubset::all(g);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    benchmark::DoNotOptimize(
+        defective_edge_coloring(g, all, beta, init.colors, init.palette, ledger)
+            .num_classes);
+  }
+}
+BENCHMARK(bm_defective)->Arg(2)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_beta_sweep();
+  print_rounds_vs_ids();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

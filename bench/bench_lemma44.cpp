@@ -1,0 +1,100 @@
+// EXP-L44 — Lemma 4.4, measured: for every list and partition there is a
+// level k with k parts of intersection >= |L|/(k*H_q).  The bench maps the
+// distribution of witnesses k (and levels floor(log2 k)) across list shapes,
+// and the tightness of the harmonic bound.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/support.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/math.hpp"
+#include "src/core/lemma44.hpp"
+
+namespace {
+
+using namespace qplec;
+using namespace qplec::bench;
+
+std::vector<int> make_sizes(const std::string& shape, int q, int total, Rng& rng) {
+  std::vector<int> sizes(static_cast<std::size_t>(q), 0);
+  if (shape == "uniform") {
+    for (int i = 0; i < total; ++i) {
+      ++sizes[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(q)))];
+    }
+  } else if (shape == "concentrated") {
+    sizes[0] = total;
+  } else if (shape == "geometric") {
+    int rest = total;
+    for (int i = 0; i < q && rest > 0; ++i) {
+      const int take = std::max(1, rest / 2);
+      sizes[static_cast<std::size_t>(i)] = take;
+      rest -= take;
+    }
+    sizes[0] += rest > 0 ? rest : 0;
+  } else if (shape == "two-blocks") {
+    sizes[0] = total / 2;
+    sizes[static_cast<std::size_t>(q / 2)] = total - total / 2;
+  }
+  return sizes;
+}
+
+void print_level_distribution() {
+  banner("EXP-L44: Lemma 4.4 witness distribution",
+         "every (list, partition) has k parts with |L cap C_j| >= |L|/(k*H_q)");
+  Table t({"list shape", "q", "|L|", "median k", "max k", "levels seen",
+           "min tightness (actual/threshold)"});
+  Rng rng(2024);
+  for (const char* shape : {"uniform", "concentrated", "geometric", "two-blocks"}) {
+    for (const int q : {8, 32, 128}) {
+      const int total = 40 * q;
+      std::vector<int> ks;
+      std::map<int, int> levels;
+      double min_tight = 1e18;
+      for (int trial = 0; trial < 200; ++trial) {
+        const auto sizes = make_sizes(shape, q, total, rng);
+        const LevelResult r = compute_level(sizes, total);
+        ks.push_back(r.k);
+        ++levels[r.level];
+        // Tightness: k-th largest intersection / threshold.
+        std::vector<int> sorted = sizes;
+        std::sort(sorted.begin(), sorted.end(), std::greater<int>());
+        const double threshold =
+            static_cast<double>(total) / (r.k * harmonic(static_cast<std::uint64_t>(q)));
+        min_tight = std::min(
+            min_tight, sorted[static_cast<std::size_t>(r.k - 1)] / threshold);
+      }
+      std::sort(ks.begin(), ks.end());
+      std::string level_str;
+      for (const auto& [lvl, cnt] : levels) {
+        level_str += "l" + std::to_string(lvl) + ":" + std::to_string(cnt) + " ";
+      }
+      t.row({shape, fmt(q), fmt(total), fmt(ks[ks.size() / 2]), fmt(ks.back()),
+             level_str, fmt(min_tight, 3)});
+    }
+  }
+  t.print();
+  std::printf(
+      "Reading: concentrated lists sit at k=1 (level 0, the argmax path of\n"
+      "Lemma 4.3); uniform lists sit at k ~ q/H_q (levels 3-4 for q >= 128,\n"
+      "the E(1)/E(2) regime); tightness >= 1 everywhere is the lemma itself.\n\n");
+}
+
+void bm_compute_level(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const auto sizes = make_sizes("uniform", q, 40 * q, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_level(sizes, 40 * q).k);
+  }
+}
+BENCHMARK(bm_compute_level)->Arg(8)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_level_distribution();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// EXP-T1 — Theorem 1.1, simulated: measured LOCAL rounds of the paper's
+// algorithm vs the runnable baselines as Delta grows, on random regular
+// graphs (the main sweep of the reproduction).
+//
+// Expected shape: greedy-by-class grows ~Dbar^2, Kuhn–Wattenhofer ~Dbar log
+// Dbar, Luby stays ~log n, and the BKO pipeline's cost is dominated by the
+// Delta-independent O(beta^2) class schedule plus base cases — i.e. its
+// growth in Delta is far below quadratic.  (At these scales the paper's
+// constants keep its absolute round counts above KW06 — see EXPERIMENTS.md;
+// the asymptotic picture is EXP-T2's.)
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "src/coloring/baselines.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/generators.hpp"
+
+namespace {
+
+using namespace qplec;
+using namespace qplec::bench;
+
+struct Row {
+  int d;
+  int dbar;
+  std::int64_t bko, greedy, kw, luby;
+  double bko_ms;
+};
+
+Row run_point(int n, int d, std::uint64_t seed) {
+  const Graph g = make_random_regular(n, d, seed).with_scrambled_ids(
+      static_cast<std::uint64_t>(n) * n, seed + 1);
+  const auto inst = make_two_delta_instance(g);
+
+  Row row{};
+  row.d = d;
+  row.dbar = g.max_edge_degree();
+
+  {
+    WallTimer timer;
+    const auto res = Solver(Policy::practical()).solve(inst);
+    row.bko = res.rounds;
+    row.bko_ms = timer.ms();
+    expect_valid_solution(inst, res.colors);
+  }
+  {
+    RoundLedger ledger;
+    row.greedy = baseline_greedy_by_class(inst, ledger).rounds;
+  }
+  {
+    RoundLedger ledger;
+    row.kw = baseline_kuhn_wattenhofer(inst, ledger).rounds;
+  }
+  {
+    RoundLedger ledger;
+    row.luby = baseline_luby(inst, seed + 5, ledger).rounds;
+  }
+  return row;
+}
+
+void print_sweep() {
+  banner("EXP-T1: simulated LOCAL rounds vs Delta (random d-regular, n = 512)",
+         "(deg+1)-list edge coloring solved deterministically; round growth of the "
+         "recursion is sub-quadratic in Delta-bar");
+  Table t({"d", "Dbar", "BKO rounds", "greedy-by-class", "KW06", "Luby (rand)",
+           "BKO wall ms"});
+  std::vector<Row> rows;
+  for (const int d : {4, 8, 16, 32, 64}) {
+    rows.push_back(run_point(512, d, 1000 + static_cast<std::uint64_t>(d)));
+    const Row& r = rows.back();
+    t.row({fmt(r.d), fmt(r.dbar), fmt(r.bko), fmt(r.greedy), fmt(r.kw), fmt(r.luby),
+           fmt(r.bko_ms, 1)});
+  }
+  t.print();
+
+  // Growth factors between consecutive Delta doublings.
+  Table g({"Dbar ratio", "BKO growth", "greedy growth", "KW growth"});
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    g.row({fmt(static_cast<double>(rows[i].dbar) / rows[i - 1].dbar, 2),
+           fmt(static_cast<double>(rows[i].bko) / std::max<std::int64_t>(1, rows[i - 1].bko), 2),
+           fmt(static_cast<double>(rows[i].greedy) / std::max<std::int64_t>(1, rows[i - 1].greedy), 2),
+           fmt(static_cast<double>(rows[i].kw) / std::max<std::int64_t>(1, rows[i - 1].kw), 2)});
+  }
+  g.print();
+  std::printf(
+      "Reading: a Delta doubling multiplies greedy-by-class rounds ~4x and KW ~2x;\n"
+      "the BKO schedule is dominated by its Delta-independent class count, so its\n"
+      "growth factor stays near 1 — the sub-polynomial shape of Theorem 1.1.\n\n");
+}
+
+void bm_solver_end_to_end(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Graph g = make_random_regular(256, d, 7).with_scrambled_ids(256 * 256, 8);
+  const auto inst = make_two_delta_instance(g);
+  const Solver solver(Policy::practical());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(inst).rounds);
+  }
+}
+BENCHMARK(bm_solver_end_to_end)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// EXP-N — the additive O(log* n) term: at fixed Delta, rounds must be
+// (near-)flat in n for every deterministic algorithm here, while the
+// randomized Luby baseline grows ~log n.
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "src/coloring/baselines.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/generators.hpp"
+
+namespace {
+
+using namespace qplec;
+using namespace qplec::bench;
+
+void print_scaling() {
+  banner("EXP-N: rounds vs n at fixed d = 8 (random regular)",
+         "complexity is f(Delta) + O(log* n): growth in n is (iterated-log) flat");
+  Table t({"n", "BKO rounds", "greedy-by-class", "KW06", "Luby (rand)"});
+  for (const int n : {64, 128, 256, 512, 1024, 2048, 4096}) {
+    const Graph g = make_random_regular(n, 8, static_cast<std::uint64_t>(n)).
+        with_scrambled_ids(static_cast<std::uint64_t>(n) * n, 3);
+    const auto inst = make_two_delta_instance(g);
+    const auto bko = Solver(Policy::practical()).solve(inst);
+    RoundLedger l1, l2, l3;
+    const auto greedy = baseline_greedy_by_class(inst, l1);
+    const auto kw = baseline_kuhn_wattenhofer(inst, l2);
+    const auto luby = baseline_luby(inst, 11, l3);
+    t.row({fmt(n), fmt(bko.rounds), fmt(greedy.rounds), fmt(kw.rounds),
+           fmt(luby.rounds)});
+  }
+  t.print();
+  std::printf(
+      "Reading: a 64x increase in n leaves the deterministic algorithms' rounds\n"
+      "essentially unchanged (log* barely moves); Luby's randomized rounds creep\n"
+      "up with log n — the separation the deterministic f(Delta)+log* n line of\n"
+      "work (this paper included) is about.\n\n");
+}
+
+void bm_solver_vs_n(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_random_regular(n, 8, 5).with_scrambled_ids(
+      static_cast<std::uint64_t>(n) * n, 6);
+  const auto inst = make_two_delta_instance(g);
+  const Solver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(inst).rounds);
+  }
+}
+BENCHMARK(bm_solver_vs_n)->Arg(128)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

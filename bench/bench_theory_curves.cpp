@@ -1,0 +1,90 @@
+// EXP-T2 — the paper's implicit "Table 1": proven round bounds of this paper
+// vs prior work, evaluated with explicit constants, including the crossover
+// analysis.  All values are log2(rounds) as a function of log2(Delta-bar)
+// (the separation is asymptotic; linear-space numbers would overflow).
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "src/core/recurrence.hpp"
+
+namespace {
+
+using namespace qplec;
+using namespace qplec::bench;
+
+void print_bounds_table() {
+  banner("EXP-T2: complexity bounds comparison (log2 of rounds)",
+         "log^{O(log log D)} D improves on 2^{O(sqrt(log D))} [Kuh20] and all "
+         "poly(D) bounds as D grows");
+  Table t({"log2(Dbar)", "Lin87 D^2", "KW06 DlogD", "PR01/BE09 D", "FHK16 ~sqrt(D)",
+           "Kuh20 2^sqrt(logD)", "BKO (this paper)"});
+  for (const double x : {4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0, 128.0, 256.0,
+                         1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0}) {
+    t.row({fmt(x, 0), fmt(quadratic_log2_rounds(x)), fmt(kw_log2_rounds(x)),
+           fmt(linear_log2_rounds(x)), fmt(fhk_log2_rounds(x)),
+           fmt(kuh20_log2_rounds(x)), fmt(bko_log2_rounds(x))});
+  }
+  t.print();
+}
+
+void print_crossovers() {
+  std::printf("Crossovers (smallest log2(Dbar) where this paper's bound wins):\n");
+  Table t({"opponent", "crossover log2(Dbar)", "i.e. Delta-bar ="});
+  struct Opp {
+    const char* name;
+    double (*fn)(double);
+  };
+  const auto bko = [](double x) { return bko_log2_rounds(x); };
+  const Opp opponents[] = {
+      {"Lin87 (Delta^2)", [](double x) { return quadratic_log2_rounds(x); }},
+      {"KW06 (Delta log Delta)", [](double x) { return kw_log2_rounds(x); }},
+      {"PR01/BE09 (Delta)", [](double x) { return linear_log2_rounds(x, 1.0); }},
+      {"FHK16 (~sqrt(Delta))", [](double x) { return fhk_log2_rounds(x); }},
+      {"Kuh20 (2^sqrt(log Delta))", [](double x) { return kuh20_log2_rounds(x, 1.0); }},
+  };
+  for (const auto& opp : opponents) {
+    const double cross = crossover_log2_delta(bko, opp.fn, 4.0, 4.0e6, 64.0);
+    if (cross < 0) {
+      t.row({opp.name, "none found below 4e6", "-"});
+    } else {
+      t.row({opp.name, fmt(cross, 0), "2^" + fmt(cross, 0)});
+    }
+  }
+  t.print();
+  std::printf(
+      "Reading: with explicit constants the asymptotically better bound only\n"
+      "wins for astronomically large Delta — the repro brief's 'large hidden\n"
+      "constants' made quantitative.  Constants-free shape (alpha and class\n"
+      "factor set to 1) below:\n\n");
+
+  BkoConstants unit;
+  unit.alpha = 1.0;
+  unit.class_factor = 1.0;
+  unit.log_star = 1.0;
+  unit.base_rounds = 1.0;
+  Table t2({"opponent", "crossover log2(Dbar), unit constants"});
+  for (const auto& opp : opponents) {
+    const double cross = crossover_log2_delta(
+        [&](double x) { return bko_log2_rounds(x, unit); }, opp.fn, 4.0, 4.0e6, 64.0);
+    t2.row({opp.name, cross < 0 ? "none below 4e6" : fmt(cross, 0)});
+  }
+  t2.print();
+}
+
+void bm_bko_eval(benchmark::State& state) {
+  const double x = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qplec::bko_log2_rounds(x));
+  }
+}
+BENCHMARK(bm_bko_eval)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_bounds_table();
+  print_crossovers();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

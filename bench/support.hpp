@@ -1,0 +1,88 @@
+// Shared support for the experiment benches: aligned table printing, a wall
+// clock, and the standard instance builders the experiments sweep over.
+//
+// Every bench binary prints its experiment table(s) first (the rows/series
+// DESIGN.md §5 maps to the paper's claims) and then runs its
+// google-benchmark micro section, so `./bench_x` with no arguments
+// regenerates the experiment.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qplec::bench {
+
+/// Fixed-width markdown-style table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], r[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::fputs("|", stdout);
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[i]), c.c_str());
+      }
+      std::fputs("\n", stdout);
+    };
+    print_row(headers_);
+    std::fputs("|", stdout);
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%s|", std::string(width[i] + 2, '-').c_str());
+    }
+    std::fputs("\n", stdout);
+    for (const auto& r : rows_) print_row(r);
+    std::fputs("\n", stdout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt(std::int64_t v) { return std::to_string(v); }
+inline std::string fmt(int v) { return std::to_string(v); }
+inline std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  claim under test: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace qplec::bench

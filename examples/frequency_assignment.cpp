@@ -1,0 +1,62 @@
+// Wireless link frequency assignment via (deg(e)+1)-LIST edge coloring.
+//
+// Links of a wireless mesh need channels such that links sharing a radio
+// (node) use different channels.  Regulations and hardware block different
+// channel subsets per link, so each link comes with its own allowed list —
+// exactly the list edge coloring problem, and the reason the paper solves
+// the list version: heterogeneous constraints are the norm.
+//
+//   $ ./frequency_assignment
+#include <cstdio>
+
+#include "src/coloring/validate.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/builder.hpp"
+#include "src/graph/generators.hpp"
+
+int main() {
+  using namespace qplec;
+
+  // A mesh backbone: random geometric-ish topology (power-law degrees model
+  // a few busy relay towers).
+  const Graph mesh =
+      make_power_law(60, 2.5, 10.0, /*seed=*/5).with_scrambled_ids(3600, 9);
+  std::printf("mesh: %d towers, %d links, busiest tower handles %d links\n",
+              mesh.num_nodes(), mesh.num_edges(), mesh.max_degree());
+
+  // Channel plan: 40 channels total; each link is allowed deg(e)+1 channels
+  // chosen from a regulator window (clustered — nearby links share windows,
+  // the adversarial case for color-space reduction).
+  const Color kChannels = 40 + mesh.max_edge_degree();
+  const auto instance =
+      make_clustered_list_instance(mesh, kChannels, /*window=*/mesh.max_edge_degree() + 4,
+                                   /*seed=*/13);
+  std::printf("channels: %d total; each link restricted to deg(e)+1 allowed ones\n\n",
+              kChannels);
+
+  const SolveResult result = Solver(Policy::practical()).solve(instance);
+  expect_valid_solution(instance, result.colors);
+
+  std::printf("assignment found in %lld LOCAL rounds; samples:\n",
+              static_cast<long long>(result.rounds));
+  for (EdgeId e = 0; e < std::min(10, mesh.num_edges()); ++e) {
+    const auto& ep = mesh.endpoints(e);
+    const auto& list = instance.lists[static_cast<std::size_t>(e)];
+    std::printf("  link %2d-%2d: allowed {%d..%d} (%d options) -> channel %d\n", ep.u,
+                ep.v, list.colors().front(), list.colors().back(), list.size(),
+                result.colors[static_cast<std::size_t>(e)]);
+  }
+
+  // Interference check at the busiest tower.
+  NodeId busiest = 0;
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    if (mesh.degree(v) > mesh.degree(busiest)) busiest = v;
+  }
+  std::printf("\nchannels at the busiest tower %d:", busiest);
+  for (const Incidence& inc : mesh.incident(busiest)) {
+    std::printf(" %d", result.colors[static_cast<std::size_t>(inc.edge)]);
+  }
+  std::printf("  (all distinct)\n");
+  return 0;
+}

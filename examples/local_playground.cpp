@@ -1,0 +1,89 @@
+// The LOCAL-model engine, bare: write a node program, run it, watch what
+// information can (and cannot) travel per round.
+//
+// Program: every node floods the largest identifier it has heard.  After r
+// rounds a node knows exactly the ids within distance r — the locality that
+// every lower bound in this area (including Linial's Omega(log* n)) is
+// about.
+//
+//   $ ./local_playground
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "src/graph/generators.hpp"
+#include "src/local/engine.hpp"
+
+namespace {
+
+using namespace qplec;
+
+class MaxFlood final : public NodeProgram {
+ public:
+  MaxFlood(int horizon, std::uint64_t* out) : horizon_(horizon), out_(out) {}
+
+  void init(NodeContext& ctx) override {
+    best_ = ctx.my_id();
+    ctx.broadcast(Message{{best_}});
+    if (horizon_ == 0) finish(ctx);
+  }
+
+  void round(NodeContext& ctx) override {
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (const Message* m = ctx.received(p)) best_ = std::max(best_, m->words[0]);
+    }
+    if (ctx.round() >= horizon_) {
+      finish(ctx);
+      return;
+    }
+    ctx.broadcast(Message{{best_}});
+  }
+
+ private:
+  void finish(NodeContext& ctx) {
+    *out_ = best_;
+    ctx.finish();
+  }
+  int horizon_;
+  std::uint64_t* out_;
+  std::uint64_t best_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace qplec;
+
+  // A 64-node cycle with scrambled ids: diameter 32.
+  const Graph ring = make_cycle(64).with_scrambled_ids(64 * 64, 23);
+  std::uint64_t global_max = 0;
+  for (NodeId v = 0; v < ring.num_nodes(); ++v) {
+    global_max = std::max(global_max, ring.local_id(v));
+  }
+  std::printf("ring of %d nodes, ids scrambled into {1..%d}, true max id = %llu\n\n",
+              ring.num_nodes(), 64 * 64, static_cast<unsigned long long>(global_max));
+
+  std::printf("%-8s | %-10s | %-9s | %s\n", "rounds", "nodes that", "messages",
+              "(a node learns ids exactly within");
+  std::printf("%-8s | %-10s | %-9s | %s\n", "", "know max", "", " its round-radius)");
+  for (const int horizon : {1, 2, 4, 8, 16, 32}) {
+    std::vector<std::uint64_t> learned(static_cast<std::size_t>(ring.num_nodes()), 0);
+    Engine engine(ring);
+    const EngineStats stats = engine.run(
+        [&](NodeId v) {
+          return std::make_unique<MaxFlood>(horizon, &learned[static_cast<std::size_t>(v)]);
+        },
+        1000);
+    const auto knowers = static_cast<int>(
+        std::count(learned.begin(), learned.end(), global_max));
+    std::printf("%-8d | %4d / %-3d | %-9lld |\n", horizon, knowers, ring.num_nodes(),
+                static_cast<long long>(stats.messages));
+  }
+
+  std::printf(
+      "\nAt 32 rounds (= diameter) everyone knows the max; below that, only the\n"
+      "nodes within flooding distance do.  Deterministic symmetry breaking in\n"
+      "o(diameter) rounds is exactly what the paper's edge-coloring recursion\n"
+      "achieves: its output depends only on poly-log-radius neighborhoods.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: color the edges of a graph with 2*Delta - 1 colors using the
+// paper's algorithm, inspect the result and the LOCAL round bill.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/coloring/validate.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/generators.hpp"
+
+int main() {
+  using namespace qplec;
+
+  // 1. A communication graph: 64 nodes, random 8-regular, with adversarially
+  //    scrambled node identifiers from {1..4096} (the LOCAL model's input).
+  const Graph g = make_random_regular(64, 8, /*seed=*/42).with_scrambled_ids(4096, 7);
+  std::printf("graph: n=%d m=%d Delta=%d Delta-bar=%d\n", g.num_nodes(), g.num_edges(),
+              g.max_degree(), g.max_edge_degree());
+
+  // 2. The classic problem: every edge may use colors {0 .. 2*Delta-2}.
+  const ListEdgeColoringInstance instance = make_two_delta_instance(g);
+
+  // 3. Solve with the Balliu–Kuhn–Olivetti recursion.
+  const Solver solver(Policy::practical());
+  const SolveResult result = solver.solve(instance);
+
+  // 4. The solver validates internally; double-check here for the reader.
+  std::string why;
+  if (!is_valid_list_coloring(instance, result.colors, &why)) {
+    std::printf("INVALID: %s\n", why.c_str());
+    return 1;
+  }
+  std::printf("valid (2*Delta-1)-edge coloring found.\n\n");
+
+  // 5. A few colored edges.
+  for (EdgeId e = 0; e < 8; ++e) {
+    const auto& ep = instance.graph.endpoints(e);
+    std::printf("  edge {%d,%d}  ->  color %d\n", ep.u, ep.v,
+                result.colors[static_cast<std::size_t>(e)]);
+  }
+
+  // 6. The LOCAL-model bill.
+  std::printf("\nLOCAL rounds (effective): %lld\n", static_cast<long long>(result.rounds));
+  std::printf("  of which initial coloring (log* n part): %lld\n",
+              static_cast<long long>(result.initial_rounds));
+  std::printf("round breakdown:\n%s\n", result.round_report.c_str());
+  std::printf("recursion stats: basecases=%lld defective=%lld trivial-picks=%lld\n",
+              static_cast<long long>(result.stats.basecase_calls),
+              static_cast<long long>(result.stats.defective_calls),
+              static_cast<long long>(result.stats.trivial_picks));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Class–teacher timetabling via edge coloring.
+//
+// The classic application (Vizing): teachers and classes are nodes, each
+// required lesson is an edge, and a timetable is an edge coloring — color =
+// period, and no teacher or class can be in two places at once.  The number
+// of periods needed is between Delta and 2*Delta-1; here the distributed
+// solver produces a feasible timetable and we compare against the
+// centralized greedy's period count.
+//
+//   $ ./timetabling
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/coloring/greedy.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/builder.hpp"
+
+int main() {
+  using namespace qplec;
+
+  constexpr int kTeachers = 9;
+  constexpr int kClasses = 12;
+  // Lessons: teacher t teaches class c if (t + c) mod 3 != 0 — an irregular
+  // but dense-ish requirement matrix, plus a few extra specialist lessons.
+  GraphBuilder b(kTeachers + kClasses);
+  for (int t = 0; t < kTeachers; ++t) {
+    for (int c = 0; c < kClasses; ++c) {
+      if ((t + c) % 3 != 0) b.add_edge(t, kTeachers + c);
+    }
+  }
+  const Graph school = b.build().with_scrambled_ids(2048, 17);
+  std::printf("school: %d teachers, %d classes, %d lessons, max load Delta=%d\n",
+              kTeachers, kClasses, school.num_edges(), school.max_degree());
+
+  const auto instance = make_two_delta_instance(school);
+  const SolveResult result = Solver(Policy::practical()).solve(instance);
+  expect_valid_solution(instance, result.colors);
+
+  const Color periods =
+      *std::max_element(result.colors.begin(), result.colors.end()) + 1;
+  const EdgeColoring central = greedy_centralized(instance);
+  const Color central_periods =
+      *std::max_element(central.begin(), central.end()) + 1;
+  std::printf("distributed timetable: %d periods (central greedy: %d; bound 2D-1=%d)\n",
+              periods, central_periods, instance.palette_size);
+  std::printf("computed in %lld LOCAL rounds\n\n", static_cast<long long>(result.rounds));
+
+  // Teacher 0's day.
+  std::printf("teacher 0's timetable:\n");
+  std::vector<std::pair<Color, NodeId>> day;
+  for (const Incidence& inc : school.incident(0)) {
+    day.emplace_back(result.colors[static_cast<std::size_t>(inc.edge)], inc.neighbor);
+  }
+  std::sort(day.begin(), day.end());
+  for (const auto& [period, cls] : day) {
+    std::printf("  period %2d: class %d\n", period, cls - kTeachers);
+  }
+  return 0;
+}

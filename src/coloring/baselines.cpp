@@ -1,0 +1,179 @@
+#include "src/coloring/baselines.hpp"
+
+#include <algorithm>
+
+#include "src/coloring/conflict.hpp"
+#include "src/coloring/greedy.hpp"
+#include "src/coloring/initial.hpp"
+#include "src/coloring/linial.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/common/math.hpp"
+#include "src/common/rng.hpp"
+#include "src/graph/subset.hpp"
+
+namespace qplec {
+
+BaselineResult baseline_greedy_by_class(const ListEdgeColoringInstance& instance,
+                                        RoundLedger& ledger) {
+  const Graph& g = instance.graph;
+  BaselineResult res;
+  res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  if (g.num_edges() == 0) return res;
+
+  const EdgeSubset all = EdgeSubset::all(g);
+  const LineGraphConflict view(g, all);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  solve_conflict_list(view, instance.lists, init.colors, init.palette, g.max_edge_degree(),
+                      res.colors, ledger);
+  expect_valid_solution(instance, res.colors);
+  res.rounds = ledger.total();
+  return res;
+}
+
+BaselineResult baseline_kuhn_wattenhofer(const ListEdgeColoringInstance& instance,
+                                         RoundLedger& ledger) {
+  const Graph& g = instance.graph;
+  BaselineResult res;
+  res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  if (g.num_edges() == 0) return res;
+
+  const int dbar = g.max_edge_degree();
+  const std::int64_t target = dbar + 1;  // <= 2*Delta - 1
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    QPLEC_REQUIRE_MSG(
+        instance.lists[static_cast<std::size_t>(e)].count_in_range(
+            0, static_cast<Color>(target)) == target,
+        "Kuhn–Wattenhofer requires lists containing {0..max_edge_degree}");
+  }
+
+  const EdgeSubset all = EdgeSubset::all(g);
+  const LineGraphConflict view(g, all);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  LinialResult lin = linial_reduce(view, init.colors, init.palette, dbar, ledger);
+
+  std::vector<std::int64_t> phi(lin.colors.begin(), lin.colors.end());
+  std::int64_t m = static_cast<std::int64_t>(lin.palette);
+
+  // Iterated halving: split the palette into blocks of 2*(dbar+1) colors;
+  // every block reduces itself to (dbar+1) colors by a class sweep, all
+  // blocks in parallel; re-pack and repeat.
+  while (m > target) {
+    const std::int64_t block = 2 * target;
+    const std::int64_t nblocks = ceil_div(m, block);
+    {
+      auto par = ledger.parallel("kw-blocks");
+      // Simulated sequentially; LOCAL cost is the max over blocks, and every
+      // block runs the same schedule of `block` class-slots.
+      std::vector<std::vector<EdgeId>> by_class(static_cast<std::size_t>(m));
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        by_class[static_cast<std::size_t>(phi[static_cast<std::size_t>(e)])].push_back(e);
+      }
+      for (std::int64_t b = 0; b < nblocks; ++b) {
+        auto branch = ledger.sequential("kw-block");
+        const std::int64_t lo = b * block;
+        const std::int64_t hi = std::min<std::int64_t>(m, lo + block);
+        ledger.charge(hi - lo, "kw-sweep");
+        for (std::int64_t cls = lo; cls < hi; ++cls) {
+          for (EdgeId e : by_class[static_cast<std::size_t>(cls)]) {
+            // Smallest offset in [0, target) unused by same-block neighbors.
+            std::vector<std::int64_t> used;
+            g.for_each_edge_neighbor(e, [&](EdgeId f) {
+              const std::int64_t pf = phi[static_cast<std::size_t>(f)];
+              if (pf >= lo && pf < hi) used.push_back(pf - lo);
+            });
+            std::sort(used.begin(), used.end());
+            std::int64_t pick = 0;
+            for (const std::int64_t u : used) {
+              if (u == pick) ++pick;
+              else if (u > pick) break;
+            }
+            QPLEC_ASSERT_MSG(pick < target, "KW block sweep ran out of offsets");
+            phi[static_cast<std::size_t>(e)] = lo + pick;
+          }
+        }
+      }
+    }
+    // Re-pack: color = block_index * target + offset (local recomputation).
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const std::int64_t b = phi[static_cast<std::size_t>(e)] / block;
+      const std::int64_t off = phi[static_cast<std::size_t>(e)] % block;
+      QPLEC_ASSERT(off < target);
+      phi[static_cast<std::size_t>(e)] = b * target + off;
+    }
+    const std::int64_t new_m = nblocks * target;
+    QPLEC_ASSERT_MSG(new_m < m, "KW iteration failed to shrink the palette");
+    m = new_m;
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    res.colors[static_cast<std::size_t>(e)] = static_cast<Color>(phi[static_cast<std::size_t>(e)]);
+  }
+  expect_valid_solution(instance, res.colors);
+  res.rounds = ledger.total();
+  return res;
+}
+
+BaselineResult baseline_luby(const ListEdgeColoringInstance& instance, std::uint64_t seed,
+                             RoundLedger& ledger, std::int64_t max_rounds) {
+  const Graph& g = instance.graph;
+  BaselineResult res;
+  res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  if (g.num_edges() == 0) return res;
+
+  Rng root(seed);
+  std::vector<Rng> tapes;
+  tapes.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    tapes.push_back(root.fork(static_cast<std::uint64_t>(e)));
+  }
+
+  std::vector<ColorList> avail = instance.lists;
+  EdgeSubset uncolored = EdgeSubset::all(g);
+  std::vector<Color> proposal(static_cast<std::size_t>(g.num_edges()), kUncolored);
+
+  std::int64_t rounds = 0;
+  while (!uncolored.empty()) {
+    QPLEC_ASSERT_MSG(rounds < max_rounds, "Luby baseline exceeded " << max_rounds << " rounds");
+    ++rounds;
+    ledger.charge(1, "luby");
+
+    // Propose.
+    uncolored.for_each([&](EdgeId e) {
+      auto& list = avail[static_cast<std::size_t>(e)];
+      QPLEC_ASSERT(!list.empty());
+      const auto idx = tapes[static_cast<std::size_t>(e)].next_below(
+          static_cast<std::uint64_t>(list.size()));
+      proposal[static_cast<std::size_t>(e)] = list.colors()[static_cast<std::size_t>(idx)];
+    });
+    // Resolve: keep a proposal iff no uncolored neighbor proposed the same
+    // color (colored neighbors' colors were already removed from avail).
+    std::vector<EdgeId> winners;
+    uncolored.for_each([&](EdgeId e) {
+      const Color mine = proposal[static_cast<std::size_t>(e)];
+      bool keep = true;
+      g.for_each_edge_neighbor(e, [&](EdgeId f) {
+        if (keep && uncolored.contains(f) && proposal[static_cast<std::size_t>(f)] == mine) {
+          keep = false;
+        }
+      });
+      if (keep) winners.push_back(e);
+    });
+    for (EdgeId e : winners) {
+      res.colors[static_cast<std::size_t>(e)] = proposal[static_cast<std::size_t>(e)];
+      uncolored.erase(e);
+    }
+    // Neighbors prune their lists (same round's feedback phase).
+    for (EdgeId e : winners) {
+      g.for_each_edge_neighbor(e, [&](EdgeId f) {
+        if (uncolored.contains(f)) {
+          avail[static_cast<std::size_t>(f)].remove(res.colors[static_cast<std::size_t>(e)]);
+        }
+      });
+    }
+  }
+  expect_valid_solution(instance, res.colors);
+  res.rounds = ledger.total();
+  return res;
+}
+
+}  // namespace qplec

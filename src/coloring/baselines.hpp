@@ -1,0 +1,43 @@
+// Baseline distributed edge-coloring algorithms the paper compares against.
+//
+//   * greedy-by-class  — Linial O(Δ̄²)-coloring + class sweep:
+//                        O(Δ̄² + log* n) rounds [Lin87].
+//   * Kuhn–Wattenhofer — iterated palette halving on top of the Linial
+//                        coloring: O(Δ̄ log Δ̄ + log* n) rounds to Δ̄+1 <= 2Δ−1
+//                        colors [KW06].  Standard-palette instances only
+//                        (lists must contain {0..Δ̄}).
+//   * Luby-style       — randomized per-round proposals from the remaining
+//                        list: O(log n) rounds w.h.p. [ABI86, Lub86-style];
+//                        the randomized yardstick of the introduction.
+// All three return validated colorings and their ledger-measured rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "src/coloring/problem.hpp"
+#include "src/local/ledger.hpp"
+
+namespace qplec {
+
+struct BaselineResult {
+  EdgeColoring colors;
+  std::int64_t rounds = 0;  ///< effective LOCAL rounds (== ledger total)
+};
+
+/// Distributed greedy over the classes of a Linial coloring.  Solves any
+/// (deg+1)-list instance.
+BaselineResult baseline_greedy_by_class(const ListEdgeColoringInstance& instance,
+                                        RoundLedger& ledger);
+
+/// Kuhn–Wattenhofer color reduction to Δ̄+1 colors.  Requires every list to
+/// contain at least {0, ..., Δ̄}; throws otherwise.
+BaselineResult baseline_kuhn_wattenhofer(const ListEdgeColoringInstance& instance,
+                                         RoundLedger& ledger);
+
+/// Randomized proposal coloring.  Solves any (deg+1)-list instance in
+/// O(log n) rounds with high probability; throws if max_rounds elapse
+/// without completion.
+BaselineResult baseline_luby(const ListEdgeColoringInstance& instance, std::uint64_t seed,
+                             RoundLedger& ledger, std::int64_t max_rounds = 1 << 20);
+
+}  // namespace qplec

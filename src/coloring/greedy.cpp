@@ -1,0 +1,92 @@
+#include "src/coloring/greedy.hpp"
+
+#include <algorithm>
+
+#include "src/coloring/linial.hpp"
+#include "src/coloring/validate.hpp"
+
+namespace qplec {
+
+void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
+                       const std::vector<std::uint64_t>& phi, std::uint64_t palette,
+                       std::vector<Color>& out, RoundLedger& ledger) {
+  QPLEC_REQUIRE(out.size() == static_cast<std::size_t>(view.num_items()));
+  QPLEC_REQUIRE(lists.size() == static_cast<std::size_t>(view.num_items()));
+  QPLEC_ASSERT_MSG(is_proper_on_conflict(view, phi), "greedy sweep needs a proper phi");
+
+  // Bucket active items by class; iterate classes in increasing order.  Only
+  // non-empty classes cost simulation work; the LOCAL round cost of the sweep
+  // is the full palette (the synchronous schedule has one slot per class) and
+  // is charged as such.
+  std::vector<std::pair<std::uint64_t, int>> by_class;
+  for (int i = 0; i < view.num_items(); ++i) {
+    if (!view.active(i)) continue;
+    QPLEC_REQUIRE_MSG(lists[static_cast<std::size_t>(i)].size() >= view.degree(i) + 1,
+                      "greedy feasibility violated at item "
+                          << i << ": list " << lists[static_cast<std::size_t>(i)].size()
+                          << " < deg+1 = " << view.degree(i) + 1);
+    QPLEC_REQUIRE(phi[static_cast<std::size_t>(i)] < palette);
+    by_class.emplace_back(phi[static_cast<std::size_t>(i)], i);
+  }
+  std::sort(by_class.begin(), by_class.end());
+  ledger.charge(static_cast<std::int64_t>(palette), "greedy-sweep");
+
+  std::vector<Color> forbidden;
+  for (std::size_t pos = 0; pos < by_class.size();) {
+    const std::uint64_t cls = by_class[pos].first;
+    // All items of this class decide simultaneously; they are pairwise
+    // non-conflicting because phi is proper, so reading neighbors' `out`
+    // values (colored in previous classes) is race-free.
+    std::size_t end = pos;
+    while (end < by_class.size() && by_class[end].first == cls) ++end;
+    for (std::size_t t = pos; t < end; ++t) {
+      const int i = by_class[t].second;
+      forbidden.clear();
+      view.for_each_neighbor(i, [&](int f) {
+        if (out[static_cast<std::size_t>(f)] != kUncolored) {
+          forbidden.push_back(out[static_cast<std::size_t>(f)]);
+        }
+      });
+      std::sort(forbidden.begin(), forbidden.end());
+      const Color c = lists[static_cast<std::size_t>(i)].min_excluding(forbidden);
+      QPLEC_ASSERT_MSG(c != kUncolored, "greedy sweep ran out of colors at item " << i);
+      out[static_cast<std::size_t>(i)] = c;
+    }
+    pos = end;
+  }
+}
+
+ConflictSolveResult solve_conflict_list(const ConflictView& view,
+                                        const std::vector<ColorList>& lists,
+                                        const std::vector<std::uint64_t>& phi0,
+                                        std::uint64_t palette0, int degree_bound,
+                                        std::vector<Color>& out, RoundLedger& ledger) {
+  ConflictSolveResult res;
+  LinialResult lin = linial_reduce(view, phi0, palette0, degree_bound, ledger);
+  res.linial_rounds = lin.rounds;
+  res.sweep_palette = lin.palette;
+  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger);
+  return res;
+}
+
+EdgeColoring greedy_centralized(const ListEdgeColoringInstance& instance) {
+  const Graph& g = instance.graph;
+  EdgeColoring colors(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  std::vector<Color> forbidden;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    forbidden.clear();
+    g.for_each_edge_neighbor(e, [&](EdgeId f) {
+      if (colors[static_cast<std::size_t>(f)] != kUncolored) {
+        forbidden.push_back(colors[static_cast<std::size_t>(f)]);
+      }
+    });
+    std::sort(forbidden.begin(), forbidden.end());
+    const Color c = instance.lists[static_cast<std::size_t>(e)].min_excluding(forbidden);
+    QPLEC_ASSERT_MSG(c != kUncolored, "centralized greedy stuck at edge "
+                                          << e << " — instance is not (deg+1)-feasible");
+    colors[static_cast<std::size_t>(e)] = c;
+  }
+  return colors;
+}
+
+}  // namespace qplec

@@ -1,0 +1,115 @@
+#include "src/coloring/linial.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/field.hpp"
+#include "src/common/math.hpp"
+#include "src/coloring/validate.hpp"
+
+namespace qplec {
+
+LinialParams choose_linial_params(std::uint64_t palette, int degree_bound) {
+  QPLEC_REQUIRE(palette >= 1);
+  QPLEC_REQUIRE(degree_bound >= 0);
+  const int d = std::max(1, degree_bound);
+  LinialParams best{0, 0};
+  std::uint64_t best_out = palette;  // must strictly improve on the input
+  for (int k = 1; k <= 63; ++k) {
+    // Smallest q for this k: q^(k+1) >= palette and q >= d*k + 1.
+    const std::uint64_t dk = static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(k) + 1;
+    const std::uint64_t lo = std::max(dk, nth_root_ceil(palette, k + 1));
+    const std::uint64_t q = next_prime(std::max<std::uint64_t>(2, lo));
+    if (q >= (1ull << 31)) continue;  // GFPoly limit; larger k will shrink q
+    const std::uint64_t out = q * q;
+    if (out < best_out) {
+      best_out = out;
+      best = LinialParams{static_cast<std::uint32_t>(q), k};
+    }
+    // Once d*k+1 alone exceeds the best output's square root, no larger k
+    // can help.
+    if (dk * dk >= best_out) break;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> linial_step(const ConflictView& view,
+                                       const std::vector<std::uint64_t>& colors,
+                                       LinialParams params) {
+  const std::uint32_t q = params.q;
+  const int k = params.k;
+  QPLEC_REQUIRE(q >= 2);
+
+  // Precompute every active item's polynomial once.
+  std::vector<GFPoly> polys;
+  polys.reserve(static_cast<std::size_t>(view.num_items()));
+  std::vector<int> poly_index(static_cast<std::size_t>(view.num_items()), -1);
+  for (int i = 0; i < view.num_items(); ++i) {
+    if (!view.active(i)) continue;
+    poly_index[static_cast<std::size_t>(i)] = static_cast<int>(polys.size());
+    polys.push_back(GFPoly::from_integer(colors[static_cast<std::size_t>(i)], q, k));
+  }
+
+  // Inactive items keep their previous colors untouched.
+  std::vector<std::uint64_t> next = colors;
+  for (int i = 0; i < view.num_items(); ++i) {
+    if (!view.active(i)) continue;
+    const GFPoly& mine = polys[static_cast<std::size_t>(poly_index[static_cast<std::size_t>(i)])];
+    // Gather neighbor polynomials (the messages of this round).
+    std::vector<const GFPoly*> nbrs;
+    view.for_each_neighbor(i, [&](int f) {
+      QPLEC_ASSERT_MSG(colors[static_cast<std::size_t>(f)] != colors[static_cast<std::size_t>(i)],
+                       "linial_step requires a proper input coloring");
+      nbrs.push_back(&polys[static_cast<std::size_t>(poly_index[static_cast<std::size_t>(f)])]);
+    });
+    // Scan evaluation points starting at a color-dependent offset (purely a
+    // simulation-speed heuristic; any good point is correct).
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(colors[static_cast<std::size_t>(i)] % q);
+    bool found = false;
+    for (std::uint32_t t = 0; t < q; ++t) {
+      const std::uint32_t a = (start + t) % q;
+      const std::uint32_t mv = mine.eval(a);
+      bool good = true;
+      for (const GFPoly* other : nbrs) {
+        if (other->eval(a) == mv) {
+          good = false;
+          break;
+        }
+      }
+      if (good) {
+        next[static_cast<std::size_t>(i)] =
+            static_cast<std::uint64_t>(a) * q + static_cast<std::uint64_t>(mv);
+        found = true;
+        break;
+      }
+    }
+    QPLEC_ASSERT_MSG(found, "no good evaluation point — degree bound violated? (q=" << q
+                                << ", k=" << k << ", deg=" << nbrs.size() << ")");
+  }
+  return next;
+}
+
+LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> colors,
+                           std::uint64_t palette, int degree_bound, RoundLedger& ledger) {
+  QPLEC_REQUIRE(colors.size() == static_cast<std::size_t>(view.num_items()));
+  LinialResult out;
+  out.colors = std::move(colors);
+  out.palette = palette;
+  // The reduction collapses super-exponentially; 64 iterations is far beyond
+  // log* of anything representable.
+  for (int iter = 0; iter < 64; ++iter) {
+    const LinialParams params = choose_linial_params(out.palette, degree_bound);
+    if (params.q == 0) break;  // fixpoint
+    const std::uint64_t new_palette =
+        static_cast<std::uint64_t>(params.q) * static_cast<std::uint64_t>(params.q);
+    out.colors = linial_step(view, out.colors, params);
+    out.palette = new_palette;
+    ++out.rounds;
+    ledger.charge(1, "linial");
+  }
+  QPLEC_ASSERT(is_proper_on_conflict(view, out.colors));
+  return out;
+}
+
+}  // namespace qplec

@@ -1,0 +1,126 @@
+#include "src/coloring/problem.hpp"
+
+#include <algorithm>
+
+#include "src/common/rng.hpp"
+
+namespace qplec {
+namespace {
+
+/// size distinct colors sampled uniformly from [lo, hi).
+std::vector<Color> sample_colors(Rng& rng, Color lo, Color hi, int size) {
+  const std::int64_t span = hi - lo;
+  QPLEC_REQUIRE(size >= 0 && size <= span);
+  std::vector<Color> out;
+  out.reserve(static_cast<std::size_t>(size));
+  if (size * 3 >= span) {
+    std::vector<Color> pool(static_cast<std::size_t>(span));
+    for (std::int64_t i = 0; i < span; ++i) pool[static_cast<std::size_t>(i)] = lo + static_cast<Color>(i);
+    rng.shuffle(pool);
+    out.assign(pool.begin(), pool.begin() + size);
+  } else {
+    std::vector<Color> sorted;
+    while (static_cast<int>(out.size()) < size) {
+      const Color c = lo + static_cast<Color>(rng.next_below(static_cast<std::uint64_t>(span)));
+      auto it = std::lower_bound(sorted.begin(), sorted.end(), c);
+      if (it != sorted.end() && *it == c) continue;
+      sorted.insert(it, c);
+      out.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+ListEdgeColoringInstance make_two_delta_instance(Graph g) {
+  const Color C = std::max<Color>(1, 2 * g.max_degree() - 1);
+  ListEdgeColoringInstance inst;
+  inst.lists.assign(static_cast<std::size_t>(g.num_edges()), ColorList::range(0, C));
+  inst.palette_size = C;
+  inst.graph = std::move(g);
+  return inst;
+}
+
+ListEdgeColoringInstance make_random_list_instance(Graph g, Color palette_size,
+                                                   std::uint64_t seed) {
+  QPLEC_REQUIRE_MSG(palette_size > g.max_edge_degree(),
+                    "palette " << palette_size << " too small for max edge degree "
+                               << g.max_edge_degree());
+  Rng rng(seed);
+  ListEdgeColoringInstance inst;
+  inst.palette_size = palette_size;
+  inst.lists.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    Rng edge_rng = rng.fork(static_cast<std::uint64_t>(e));
+    const int size = g.edge_degree(e) + 1;
+    inst.lists.emplace_back(sample_colors(edge_rng, 0, palette_size, size));
+  }
+  inst.graph = std::move(g);
+  return inst;
+}
+
+ListEdgeColoringInstance make_slack_instance(Graph g, double slack, Color palette_size,
+                                             std::uint64_t seed) {
+  QPLEC_REQUIRE(slack >= 1.0);
+  Rng rng(seed);
+  ListEdgeColoringInstance inst;
+  inst.palette_size = palette_size;
+  inst.lists.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    Rng edge_rng = rng.fork(static_cast<std::uint64_t>(e));
+    const auto size = static_cast<int>(slack * g.edge_degree(e)) + 1;
+    QPLEC_REQUIRE_MSG(size <= palette_size,
+                      "palette " << palette_size << " too small for slack " << slack
+                                 << " at edge degree " << g.edge_degree(e));
+    inst.lists.emplace_back(sample_colors(edge_rng, 0, palette_size, size));
+  }
+  inst.graph = std::move(g);
+  return inst;
+}
+
+ListEdgeColoringInstance make_clustered_list_instance(Graph g, Color palette_size,
+                                                      int window, std::uint64_t seed) {
+  QPLEC_REQUIRE(window >= 1);
+  Rng rng(seed);
+  ListEdgeColoringInstance inst;
+  inst.palette_size = palette_size;
+  inst.lists.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    Rng edge_rng = rng.fork(static_cast<std::uint64_t>(e));
+    const int size = g.edge_degree(e) + 1;
+    // Center the window on a hash of the lower endpoint so neighboring edges
+    // share most of their lists.
+    const auto& ep = g.endpoints(e);
+    const Color span = std::max<Color>(window, size);
+    const Color max_lo = std::max<Color>(0, palette_size - span);
+    const Color lo = max_lo == 0 ? 0
+                                 : static_cast<Color>((static_cast<std::uint64_t>(ep.u) *
+                                                       2654435761u) %
+                                                      static_cast<std::uint64_t>(max_lo + 1));
+    const Color hi = std::min<Color>(palette_size, lo + span);
+    QPLEC_REQUIRE(hi - lo >= size);
+    inst.lists.emplace_back(sample_colors(edge_rng, lo, hi, size));
+  }
+  inst.graph = std::move(g);
+  return inst;
+}
+
+void validate_instance(const ListEdgeColoringInstance& instance) {
+  const Graph& g = instance.graph;
+  QPLEC_REQUIRE_MSG(static_cast<int>(instance.lists.size()) == g.num_edges(),
+                    "lists size mismatch");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& list = instance.lists[static_cast<std::size_t>(e)];
+    QPLEC_REQUIRE_MSG(list.size() >= g.edge_degree(e) + 1,
+                      "edge " << e << " has list of size " << list.size()
+                              << " < deg(e)+1 = " << g.edge_degree(e) + 1);
+    if (!list.empty()) {
+      QPLEC_REQUIRE_MSG(list.colors().back() < instance.palette_size,
+                        "edge " << e << " has color outside palette");
+    }
+  }
+}
+
+}  // namespace qplec

@@ -1,0 +1,51 @@
+// Problem instances for (list) edge coloring.
+//
+// An instance is a graph plus one color list per edge, with all colors drawn
+// from the palette [0, C).  The paper's problems map to instances as:
+//   * (2Δ−1)-edge coloring: every list is {0, ..., 2Δ−2};
+//   * (deg(e)+1)-list edge coloring: |L_e| >= deg(e)+1, lists arbitrary;
+//   * P(∆̄, S, C) (slack-S relaxation): |L_e| > S·deg(e).
+// Factories below generate each flavor deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/palette.hpp"
+#include "src/graph/graph.hpp"
+
+namespace qplec {
+
+struct ListEdgeColoringInstance {
+  Graph graph;
+  std::vector<ColorList> lists;  ///< indexed by EdgeId
+  Color palette_size = 0;        ///< C; every list color lies in [0, C)
+};
+
+/// An edge coloring: color of every edge, kUncolored where unassigned.
+using EdgeColoring = std::vector<Color>;
+
+/// The classic (2Δ−1)-edge coloring problem as a list instance.
+ListEdgeColoringInstance make_two_delta_instance(Graph g);
+
+/// (deg(e)+1)-list instance with each list drawn uniformly at random from a
+/// palette of size C (C >= max edge degree + 1).
+ListEdgeColoringInstance make_random_list_instance(Graph g, Color palette_size,
+                                                   std::uint64_t seed);
+
+/// Slack-S instance: each list has size min(C, floor(S*deg(e)) + 1) drawn at
+/// random — the smallest size that satisfies |L_e| > S*deg(e).
+ListEdgeColoringInstance make_slack_instance(Graph g, double slack, Color palette_size,
+                                             std::uint64_t seed);
+
+/// Adversarial (deg+1)-list instance: lists are biased toward a small window
+/// of the palette so that neighboring lists overlap heavily (the hard regime
+/// for color-space reduction).
+ListEdgeColoringInstance make_clustered_list_instance(Graph g, Color palette_size,
+                                                      int window, std::uint64_t seed);
+
+/// Throws std::invalid_argument unless the instance is well-formed:
+/// |L_e| >= deg(e)+1 and all colors within [0, C).
+void validate_instance(const ListEdgeColoringInstance& instance);
+
+}  // namespace qplec

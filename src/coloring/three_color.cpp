@@ -1,0 +1,23 @@
+#include "src/coloring/three_color.hpp"
+
+#include "src/coloring/greedy.hpp"
+#include "src/coloring/validate.hpp"
+
+namespace qplec {
+
+ThreeColorResult three_color_paths_cycles(const ConflictView& view,
+                                          const std::vector<std::uint64_t>& phi,
+                                          std::uint64_t palette, RoundLedger& ledger) {
+  QPLEC_REQUIRE_MSG(view.max_degree() <= 2,
+                    "three_color_paths_cycles requires a degree-<=2 conflict graph");
+  ThreeColorResult out;
+  out.colors.assign(static_cast<std::size_t>(view.num_items()), kUncolored);
+  const std::vector<ColorList> lists(static_cast<std::size_t>(view.num_items()),
+                                     ColorList::range(0, 3));
+  const auto sub = solve_conflict_list(view, lists, phi, palette, 2, out.colors, ledger);
+  out.rounds = sub.linial_rounds + static_cast<int>(sub.sweep_palette);
+  QPLEC_ASSERT(is_proper_on_conflict(view, out.colors));
+  return out;
+}
+
+}  // namespace qplec

@@ -1,0 +1,71 @@
+// Checked assertions for qplec.
+//
+// QPLEC_ASSERT is an internal invariant check: it is compiled in for every
+// build type (the library is a reference implementation of a theory paper, so
+// invariant violations must never pass silently) and throws
+// qplec::InvariantViolation, which carries the failing expression, file and
+// line.  QPLEC_REQUIRE is the same mechanism used for public API precondition
+// checks and throws std::invalid_argument so callers can distinguish misuse
+// from internal bugs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qplec {
+
+/// Thrown when an internal invariant (a statement the paper proves) fails.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "QPLEC_ASSERT failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+
+[[noreturn]] inline void require_fail(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+}  // namespace qplec
+
+#define QPLEC_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) ::qplec::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define QPLEC_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream qplec_os_;                                          \
+      qplec_os_ << msg;                                                      \
+      ::qplec::detail::assert_fail(#expr, __FILE__, __LINE__, qplec_os_.str()); \
+    }                                                                        \
+  } while (false)
+
+#define QPLEC_REQUIRE(expr)                                                   \
+  do {                                                                        \
+    if (!(expr)) ::qplec::detail::require_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define QPLEC_REQUIRE_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream qplec_os_;                                           \
+      qplec_os_ << msg;                                                       \
+      ::qplec::detail::require_fail(#expr, __FILE__, __LINE__, qplec_os_.str()); \
+    }                                                                         \
+  } while (false)

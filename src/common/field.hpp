@@ -1,0 +1,42 @@
+// Prime-field arithmetic used by Linial's polynomial color-reduction step.
+//
+// Linial's one-round reduction encodes a color c in {0, ..., m-1} as a
+// polynomial of degree <= k over GF(q) (its base-q digits as coefficients) and
+// recolors with a pair (a, p_c(a)).  This header provides primality testing,
+// next-prime search, and polynomial evaluation over GF(q) for q < 2^31.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qplec {
+
+/// Deterministic Miller–Rabin for x < 2^63.
+bool is_prime(std::uint64_t x);
+
+/// Smallest prime >= x (x >= 2).
+std::uint64_t next_prime(std::uint64_t x);
+
+/// A polynomial over GF(q) represented by its coefficient vector
+/// (coeffs[i] is the coefficient of x^i).  Evaluation is Horner's rule with
+/// 64-bit intermediate products, valid for q < 2^31.
+class GFPoly {
+ public:
+  GFPoly(std::vector<std::uint32_t> coeffs, std::uint32_t q);
+
+  /// Builds the polynomial whose coefficients are the base-q digits of value,
+  /// padded with zeros to exactly (degree_bound + 1) coefficients.
+  /// Requires value < q^(degree_bound+1).
+  static GFPoly from_integer(std::uint64_t value, std::uint32_t q, int degree_bound);
+
+  std::uint32_t eval(std::uint32_t x) const;
+  std::uint32_t q() const { return q_; }
+  int degree_bound() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const std::vector<std::uint32_t>& coeffs() const { return coeffs_; }
+
+ private:
+  std::vector<std::uint32_t> coeffs_;
+  std::uint32_t q_;
+};
+
+}  // namespace qplec

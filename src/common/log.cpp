@@ -1,0 +1,34 @@
+#include "src/common/log.hpp"
+
+#include <cstdio>
+
+namespace qplec {
+namespace {
+LogLevel g_level = LogLevel::kQuiet;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kInfo:
+      tag = "info ";
+      break;
+    case LogLevel::kDebug:
+      tag = "debug";
+      break;
+    case LogLevel::kTrace:
+      tag = "trace";
+      break;
+    case LogLevel::kQuiet:
+      tag = "     ";
+      break;
+  }
+  std::fprintf(stderr, "[qplec %s] %s\n", tag, message.c_str());
+}
+}  // namespace detail
+
+}  // namespace qplec

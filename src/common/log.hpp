@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// The library itself is silent by default; examples and benches raise the
+// level to narrate algorithm phases (used by the figure-walkthrough example
+// to reproduce the paper's Figures 1–6 as executable traces).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qplec {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Global log level (process wide; the simulator is single-threaded).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace qplec
+
+#define QPLEC_LOG(level, expr)                                    \
+  do {                                                            \
+    if (static_cast<int>(level) <= static_cast<int>(::qplec::log_level())) { \
+      std::ostringstream qplec_log_os_;                           \
+      qplec_log_os_ << expr;                                      \
+      ::qplec::detail::log_emit(level, qplec_log_os_.str());      \
+    }                                                             \
+  } while (false)
+
+#define QPLEC_INFO(expr) QPLEC_LOG(::qplec::LogLevel::kInfo, expr)
+#define QPLEC_DEBUG(expr) QPLEC_LOG(::qplec::LogLevel::kDebug, expr)
+#define QPLEC_TRACE(expr) QPLEC_LOG(::qplec::LogLevel::kTrace, expr)

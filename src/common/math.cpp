@@ -1,0 +1,115 @@
+#include "src/common/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/assert.hpp"
+
+namespace qplec {
+
+int floor_log2(std::uint64_t x) {
+  QPLEC_REQUIRE(x >= 1);
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+int ceil_log2(std::uint64_t x) {
+  QPLEC_REQUIRE(x >= 1);
+  const int f = floor_log2(x);
+  return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+int log_star(std::uint64_t x) {
+  QPLEC_REQUIRE(x >= 1);
+  int r = 0;
+  // Work with a double once the value is small enough that precision is moot;
+  // the chain collapses extremely fast so the loop runs at most ~6 times.
+  double v = static_cast<double>(x);
+  while (v > 1.0) {
+    v = std::log2(v);
+    ++r;
+  }
+  return r;
+}
+
+int log_star_pow(std::uint64_t base, int exponent) {
+  QPLEC_REQUIRE(base >= 1);
+  QPLEC_REQUIRE(exponent >= 0);
+  if (exponent == 0 || base == 1) return 0;
+  // log2(base^exponent) = exponent * log2(base); one application of log2 done
+  // symbolically, the remainder numerically.
+  double v = static_cast<double>(exponent) * std::log2(static_cast<double>(base));
+  int r = 1;
+  while (v > 1.0) {
+    v = std::log2(v);
+    ++r;
+  }
+  return r;
+}
+
+double harmonic(std::uint64_t p) {
+  // Exact summation for small p (all uses in the algorithm have p <= palette
+  // size); asymptotic expansion for very large p keeps the recurrence
+  // evaluators cheap.
+  if (p == 0) return 0.0;
+  if (p <= 1u << 20) {
+    double h = 0.0;
+    for (std::uint64_t i = 1; i <= p; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  constexpr double kEulerMascheroni = 0.57721566490153286;
+  const double pd = static_cast<double>(p);
+  return std::log(pd) + kEulerMascheroni + 1.0 / (2.0 * pd) - 1.0 / (12.0 * pd * pd);
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  QPLEC_REQUIRE(b > 0);
+  if (a >= 0) return (a + b - 1) / b;
+  return a / b;  // negative numerator: C++ division already truncates toward zero = ceil.
+}
+
+std::uint64_t saturating_pow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    r = saturating_mul(r, base);
+    if (r == std::numeric_limits<std::uint64_t>::max()) return r;
+  }
+  return r;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<std::uint64_t>::max() / b) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+std::uint64_t nth_root_ceil(std::uint64_t x, int r) {
+  QPLEC_REQUIRE(r >= 1);
+  if (x <= 1) return 1;
+  if (r == 1) return x;
+  if (r >= 64) return 2;
+  // Float estimate, then fix up with exact saturating powers.
+  auto guess = static_cast<std::uint64_t>(
+      std::pow(static_cast<double>(x), 1.0 / static_cast<double>(r)));
+  if (guess < 1) guess = 1;
+  while (saturating_pow(guess, static_cast<unsigned>(r)) >= x && guess > 1) --guess;
+  while (saturating_pow(guess, static_cast<unsigned>(r)) < x) ++guess;
+  return guess;
+}
+
+std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  std::uint64_t r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  // std::sqrt can be off by one in either direction for large inputs.
+  while (r > 0 && r > x / r) --r;
+  while ((r + 1) <= x / (r + 1)) ++r;
+  return r;
+}
+
+}  // namespace qplec

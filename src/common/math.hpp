@@ -1,0 +1,45 @@
+// Integer and combinatorial math used throughout the paper's analysis:
+// floor/ceil logarithms, the iterated logarithm log*, harmonic numbers H_p,
+// and ceiling division.  All functions are total for the documented domains
+// and throw on misuse.
+#pragma once
+
+#include <cstdint>
+
+namespace qplec {
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (ceil_log2(1) == 0).
+int ceil_log2(std::uint64_t x);
+
+/// Iterated logarithm: the number of times log2 must be applied to x until the
+/// result is <= 1.  log_star(1) == 0, log_star(2) == 1, log_star(4) == 2,
+/// log_star(16) == 3, log_star(65536) == 4.
+int log_star(std::uint64_t x);
+
+/// Iterated logarithm of a double upper bound (used for bounds like
+/// log* (n^2) where the argument may exceed 2^64 conceptually — callers pass
+/// the exponent separately via log_star_pow).
+int log_star_pow(std::uint64_t base, int exponent);
+
+/// p-th harmonic number H_p = sum_{i=1..p} 1/i.  H_0 == 0.
+double harmonic(std::uint64_t p);
+
+/// ceil(a / b) for b > 0.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// Integer power with overflow saturation to UINT64_MAX.
+std::uint64_t saturating_pow(std::uint64_t base, unsigned exp);
+
+/// Saturating multiply.
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b);
+
+/// Integer square root: largest r with r*r <= x.
+std::uint64_t isqrt(std::uint64_t x);
+
+/// Smallest y >= 1 with y^r >= x (r >= 1).
+std::uint64_t nth_root_ceil(std::uint64_t x, int r);
+
+}  // namespace qplec

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in qplec (graph generators, workload construction, the
+// randomized Luby baseline) flows through Rng so that every experiment is
+// reproducible from a single 64-bit seed.  The generator is xoshiro256**
+// seeded via SplitMix64, which is the standard, well-analyzed construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qplec {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) for bound >= 1, via Lemire rejection
+  /// (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive, lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p).
+  bool next_bool(double p);
+
+  /// Derives an independent child generator (for per-node / per-edge local
+  /// randomness in distributed baselines: stream i is the randomness tape of
+  /// entity i).
+  Rng fork(std::uint64_t stream) const;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace qplec

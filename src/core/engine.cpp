@@ -1,0 +1,243 @@
+#include "src/core/engine.hpp"
+
+#include <algorithm>
+
+#include "src/coloring/conflict.hpp"
+#include "src/coloring/defective.hpp"
+#include "src/coloring/greedy.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/common/log.hpp"
+#include "src/common/math.hpp"
+
+namespace qplec {
+
+SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
+                           std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
+                           const Policy& policy, RoundLedger& ledger, SolverStats& stats,
+                           int depth)
+    : g_(g),
+      work_(std::move(lists)),
+      palette_(palette),
+      phi_(std::move(phi)),
+      phi_palette_(phi_palette),
+      policy_(policy),
+      ledger_(ledger),
+      stats_(stats),
+      base_depth_(depth),
+      final_(static_cast<std::size_t>(g.num_edges()), kUncolored) {
+  QPLEC_REQUIRE(work_.size() == static_cast<std::size_t>(g.num_edges()));
+  QPLEC_REQUIRE(phi_.size() == static_cast<std::size_t>(g.num_edges()));
+  note_depth(depth);
+}
+
+void SolverEngine::note_depth(int depth) {
+  QPLEC_ASSERT_MSG(depth <= policy_.max_depth, "recursion depth guard tripped");
+  stats_.max_depth = std::max(stats_.max_depth, depth);
+}
+
+EdgeColoring SolverEngine::solve() {
+  if (g_.num_edges() > 0) {
+    QPLEC_ASSERT(is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_));
+    solve_no_slack(EdgeSubset::all(g_), base_depth_);
+  }
+  std::string why;
+  QPLEC_ASSERT_MSG(is_proper_edge_coloring(g_, final_, &why), "engine output invalid: " << why);
+  return final_;
+}
+
+EdgeColoring SolverEngine::solve_relaxed_instance(double slack) {
+  if (g_.num_edges() > 0) {
+    QPLEC_ASSERT(is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_));
+    solve_relaxed(EdgeSubset::all(g_), slack, 0, palette_, base_depth_);
+  }
+  std::string why;
+  QPLEC_ASSERT_MSG(is_proper_edge_coloring(g_, final_, &why), "engine output invalid: " << why);
+  return final_;
+}
+
+void SolverEngine::refresh_lists(const EdgeSubset& H) {
+  ledger_.charge(1, "refresh-lists");
+  H.for_each([&](EdgeId e) {
+    g_.for_each_edge_neighbor(e, [&](EdgeId f) {
+      const Color cf = final_[static_cast<std::size_t>(f)];
+      if (cf != kUncolored) work_[static_cast<std::size_t>(e)].remove(cf);
+    });
+  });
+}
+
+void SolverEngine::solve_basecase(const EdgeSubset& H) {
+  ++stats_.basecase_calls;
+  refresh_lists(H);
+  const LineGraphConflict view(g_, H);
+  const int d = H.max_induced_edge_degree(g_);
+  H.for_each([&](EdgeId e) {
+    QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
+                         H.induced_edge_degree(g_, e) + 1,
+                     "base case feasibility violated at edge " << e);
+  });
+  solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_);
+  H.for_each([&](EdgeId e) {
+    QPLEC_ASSERT(final_[static_cast<std::size_t>(e)] != kUncolored);
+  });
+}
+
+void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
+  note_depth(depth);
+  int guard = 0;
+  while (!H.empty()) {
+    QPLEC_ASSERT_MSG(++guard <= 64, "no-slack outer loop failed to terminate");
+    refresh_lists(H);
+    const int d = H.max_induced_edge_degree(g_);
+
+    // Paper invariant: the current subgraph is a (deg+1)-list instance.
+    H.for_each([&](EdgeId e) {
+      QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
+                           H.induced_edge_degree(g_, e) + 1,
+                       "(deg+1)-list invariant violated at edge " << e);
+    });
+
+    if (d <= policy_.base_degree_threshold) {
+      solve_basecase(H);
+      return;
+    }
+
+    const int beta = policy_.beta(d);
+    ++stats_.defective_calls;
+    const DefectiveColoring dc =
+        defective_edge_coloring(g_, H, beta, phi_, phi_palette_, ledger_);
+
+    // Degrees at phase start drive both the activity test and the defect
+    // tightness statistic.
+    std::vector<int> deg0(static_cast<std::size_t>(g_.num_edges()), 0);
+    H.for_each([&](EdgeId e) {
+      deg0[static_cast<std::size_t>(e)] = H.induced_edge_degree(g_, e);
+      const int defect = edge_defect(g_, H, dc.cls, e);
+      if (defect > 0) {
+        const double bound = static_cast<double>(deg0[static_cast<std::size_t>(e)]) /
+                             (2.0 * static_cast<double>(beta));
+        stats_.max_defect_ratio =
+            std::max(stats_.max_defect_ratio, static_cast<double>(defect) / bound);
+      }
+    });
+
+    std::vector<std::vector<EdgeId>> buckets(static_cast<std::size_t>(dc.num_classes));
+    H.for_each([&](EdgeId e) {
+      buckets[static_cast<std::size_t>(dc.cls[static_cast<std::size_t>(e)])].push_back(e);
+    });
+
+    stats_.classes_total += dc.num_classes;
+    std::int64_t empty_slots = 0;
+    for (int cls = 0; cls < dc.num_classes; ++cls) {
+      const auto& bucket = buckets[static_cast<std::size_t>(cls)];
+      if (bucket.empty()) {
+        // A synchronous schedule still spends the marking round of this
+        // class slot; bulk-charged below to keep the ledger cheap.
+        ++empty_slots;
+        continue;
+      }
+      ++stats_.classes_nonempty;
+      auto scope = ledger_.sequential("defective-class");
+      // Marking round: remove used neighbor colors, test |L_e| > deg(e)/2.
+      ledger_.charge(1, "mark-active");
+      EdgeSubset active(g_.num_edges());
+      for (EdgeId e : bucket) {
+        auto& list = work_[static_cast<std::size_t>(e)];
+        g_.for_each_edge_neighbor(e, [&](EdgeId f) {
+          const Color cf = final_[static_cast<std::size_t>(f)];
+          if (cf != kUncolored) list.remove(cf);
+        });
+        if (2 * list.size() > deg0[static_cast<std::size_t>(e)]) active.insert(e);
+      }
+      if (!active.empty()) {
+        // Slack guarantee of Lemma 4.2 (asserted): within the active class
+        // subgraph, |L_e| > beta * deg'(e).
+        active.for_each([&](EdgeId e) {
+          const int dprime = active.induced_edge_degree(g_, e);
+          QPLEC_ASSERT_MSG(
+              work_[static_cast<std::size_t>(e)].size() >
+                  static_cast<std::int64_t>(beta) * dprime,
+              "slack guarantee violated: |L|=" << work_[static_cast<std::size_t>(e)].size()
+                                               << " beta=" << beta << " deg'=" << dprime);
+        });
+        solve_relaxed(std::move(active), static_cast<double>(beta), 0, palette_, depth + 1);
+      }
+    }
+    if (empty_slots > 0) ledger_.charge(empty_slots, "mark-active");
+
+    // Uncolored edges recurse; the paper proves their induced degree halved.
+    EdgeSubset next(g_.num_edges());
+    H.for_each([&](EdgeId e) {
+      if (final_[static_cast<std::size_t>(e)] == kUncolored) next.insert(e);
+    });
+    if (!next.empty()) {
+      const int nd = next.max_induced_edge_degree(g_);
+      QPLEC_ASSERT_MSG(2 * nd <= d, "degree halving violated: " << d << " -> " << nd);
+    }
+    H = std::move(next);
+  }
+}
+
+void SolverEngine::solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi, int depth) {
+  note_depth(depth);
+  if (A.empty()) return;
+  QPLEC_REQUIRE(slack >= 1.0);
+
+  const int d = A.max_induced_edge_degree(g_);
+
+  // Entry invariant of P(dbar, S, C): |L_e| > slack * deg_A(e), lists within
+  // [lo, hi).
+  A.for_each([&](EdgeId e) {
+    const auto& list = work_[static_cast<std::size_t>(e)];
+    QPLEC_ASSERT(!list.empty());
+    QPLEC_ASSERT(list.colors().front() >= lo && list.colors().back() < hi);
+    QPLEC_ASSERT_MSG(static_cast<double>(list.size()) >
+                         slack * A.induced_edge_degree(g_, e) - 1e-9,
+                     "relaxed entry slack violated at edge " << e);
+  });
+
+  if (d == 0) {
+    // Independent edges: everyone picks its smallest remaining color.
+    ++stats_.trivial_picks;
+    ledger_.charge(1, "trivial-pick");
+    A.for_each([&](EdgeId e) {
+      final_[static_cast<std::size_t>(e)] = work_[static_cast<std::size_t>(e)].min();
+    });
+    return;
+  }
+  if (d <= policy_.base_degree_threshold) {
+    solve_basecase(A);
+    return;
+  }
+
+  const int p = policy_.choose_p(slack, hi - lo, d);
+  if (p == 0) {
+    // The slack cannot pay for a space-reduction step (Lemma 4.3 requires
+    // S >= 24*H_{2p}*log p); treat the instance as a (deg+1)-list problem.
+    // Progress is still guaranteed: this path is only reached from Lemma 4.2
+    // class subgraphs whose degree shrank by a 2*beta factor.
+    ++stats_.noslack_fallbacks;
+    solve_no_slack(std::move(A), depth + 1);
+    return;
+  }
+
+  ++stats_.space_reductions;
+  const std::vector<int> part_of = assign_subspaces(A, lo, hi, p, depth);
+  const PalettePartition partition = PalettePartition::uniform(hi - lo, p);
+  const double child_slack = std::max(1.0, slack / Policy::space_cost(p));
+
+  // The q instances are independent (disjoint palettes) and run in parallel.
+  std::vector<EdgeSubset> parts(static_cast<std::size_t>(partition.num_parts()),
+                                EdgeSubset(g_.num_edges()));
+  A.for_each([&](EdgeId e) {
+    parts[static_cast<std::size_t>(part_of[static_cast<std::size_t>(e)])].insert(e);
+  });
+  auto par = ledger_.parallel("space-parts");
+  for (int i = 0; i < partition.num_parts(); ++i) {
+    if (parts[static_cast<std::size_t>(i)].empty()) continue;
+    auto branch = ledger_.sequential("space-part");
+    solve_relaxed(std::move(parts[static_cast<std::size_t>(i)]), child_slack,
+                  lo + partition.part_begin(i), lo + partition.part_end(i), depth + 1);
+  }
+}
+
+}  // namespace qplec

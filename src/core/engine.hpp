@@ -1,0 +1,118 @@
+// SolverEngine — the recursive machinery of Section 4.
+//
+// One engine instance owns one list-edge-coloring instance (a graph, working
+// lists, a maintained proper "helper" coloring phi used to seed every
+// O(log* X) primitive) and colors all of its edges via the paper's mutual
+// recursion:
+//
+//   solve_no_slack  (Lemma 4.2)   T(dbar, 1, C):
+//     defective split -> per class: mark active edges -> solve_relaxed with
+//     slack beta -> recurse on the uncolored half-degree subgraph.
+//   solve_relaxed   (Lemma 4.5)   T(dbar, S, C):
+//     color-space reduction (Lemma 4.3) into q parallel instances with
+//     palette C/p, or base case / no-slack fallback when S cannot pay for a
+//     reduction step.
+//   assign_subspaces (Lemma 4.3/4.4):
+//     levels, low-level argmax assignment, phased assignment on virtual
+//     graphs (each phase a recursive (deg+1)-list instance with palette
+//     q <= 2p, solved by a child SolverEngine — the paper's T(2p-1,1,2p)),
+//     and the E(2) residual instance.
+//
+// Every lemma-level guarantee (defect bound, Lemma 4.4 witness, |Je| size,
+// Equation (2), degree halving) is asserted at runtime; SolverStats records
+// the measured extremes so benchmarks can report how tight the bounds are.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/palette.hpp"
+#include "src/coloring/problem.hpp"
+#include "src/core/policy.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/subset.hpp"
+#include "src/local/ledger.hpp"
+
+namespace qplec {
+
+struct SolverStats {
+  std::int64_t basecase_calls = 0;
+  std::int64_t defective_calls = 0;
+  std::int64_t space_reductions = 0;
+  std::int64_t noslack_fallbacks = 0;
+  std::int64_t virtual_instances = 0;
+  std::int64_t e2_instances = 0;
+  std::int64_t trivial_picks = 0;
+  std::int64_t classes_total = 0;
+  std::int64_t classes_nonempty = 0;
+  std::int64_t phases_executed = 0;
+  int max_depth = 0;
+  /// Measured Lemma 4.3 Equation (2) tightness: max over edges of
+  /// deg'(e) / (24*H_q*log2(p) * (|L'_e|/|L_e|) * deg(e)); must stay <= 1.
+  double max_eq2_ratio = 0.0;
+  /// Measured defect tightness: max of defect(e) / (deg(e)/(2*beta)).
+  double max_defect_ratio = 0.0;
+
+  void merge_max(const SolverStats&) = delete;  // single object shared by reference
+};
+
+class SolverEngine {
+ public:
+  /// lists: working lists (consumed); palette: colors lie in [0, palette);
+  /// phi/phi_palette: proper edge coloring of g seeding the primitives.
+  SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
+               std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
+               const Policy& policy, RoundLedger& ledger, SolverStats& stats, int depth);
+
+  /// Colors every edge; the result is proper (asserted) and each edge's
+  /// color comes from the list the engine was given.
+  EdgeColoring solve();
+
+  /// Colors every edge via the relaxed path P(dbar, slack, C) of Lemma 4.5.
+  /// The caller guarantees |L_e| > slack * deg(e) (Solver::solve_relaxed
+  /// checks it).
+  EdgeColoring solve_relaxed_instance(double slack);
+
+  /// Lemma 4.3, exposed for analysis benches/tests: assigns a part of the
+  /// uniform partition of [lo, hi) into p pieces to every edge of A and
+  /// restricts the working lists to the assigned part.  Returns the part
+  /// index per edge (-1 outside A).  Asserts Equation (2) on every edge.
+  std::vector<int> assign_subspaces(const EdgeSubset& A, Color lo, Color hi, int p,
+                                    int depth);
+
+  /// Working list of an edge (after whatever restriction has happened).
+  const ColorList& work_list(EdgeId e) const {
+    return work_[static_cast<std::size_t>(e)];
+  }
+
+ private:
+  // Lemma 4.2: colors all edges of H (lists currently satisfy
+  // |L_e| >= deg_H(e)+1 after refresh).
+  void solve_no_slack(EdgeSubset H, int depth);
+
+  // Lemma 4.5: colors all edges of A; lists satisfy |L_e| > slack*deg_A(e);
+  // all list colors lie in [lo, hi).
+  void solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi, int depth);
+
+  // Base case: O(d^2 + log* X) conflict solve on H's induced line graph.
+  void solve_basecase(const EdgeSubset& H);
+
+  // One synchronous round in which every edge of H deletes the final colors
+  // of its (whole-graph) neighbors from its working list.
+  void refresh_lists(const EdgeSubset& H);
+
+  void note_depth(int depth);
+
+  const Graph& g_;
+  std::vector<ColorList> work_;
+  Color palette_;
+  std::vector<std::uint64_t> phi_;
+  std::uint64_t phi_palette_;
+  const Policy& policy_;
+  RoundLedger& ledger_;
+  SolverStats& stats_;
+  int base_depth_;
+  EdgeColoring final_;
+};
+
+}  // namespace qplec

@@ -1,0 +1,68 @@
+#include "src/core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/math.hpp"
+
+namespace qplec {
+
+int Policy::beta(int dbar) const {
+  QPLEC_REQUIRE(dbar >= 1);
+  if (beta_fixed > 0) return beta_fixed;
+  const double lg = std::max(1.0, std::log2(static_cast<double>(dbar)));
+  const double value = beta_alpha * std::pow(lg, 4.0 * c_exponent);
+  const double clamped = std::min<double>(beta_cap, std::max(2.0, value));
+  return static_cast<int>(clamped);
+}
+
+double Policy::space_cost(int p) {
+  QPLEC_REQUIRE(p >= 2);
+  return 24.0 * harmonic(static_cast<std::uint64_t>(2 * p)) *
+         std::log2(static_cast<double>(p));
+}
+
+int Policy::choose_p(double slack, Color palette_range, int dbar) const {
+  const int hi = static_cast<int>(std::min<std::int64_t>(palette_range, 1 << 20));
+  if (hi < 2) return 0;
+  if (space_cost(2) > slack) return 0;
+  // space_cost is strictly increasing in p: binary-search the feasibility
+  // frontier.
+  int lo = 2, best = 2;
+  int top = hi;
+  while (lo <= top) {
+    const int mid = lo + (top - lo) / 2;
+    if (space_cost(mid) <= slack) {
+      best = mid;
+      lo = mid + 1;
+    } else {
+      top = mid - 1;
+    }
+  }
+  if (paper_p) {
+    // Theorem 4.1's p = sqrt(dbar), reduced to the feasible region.
+    const int want = std::max(2, static_cast<int>(isqrt(static_cast<std::uint64_t>(
+                                    std::max(4, dbar)))));
+    return std::min(best, want);
+  }
+  return best;
+}
+
+Policy Policy::practical() {
+  Policy p;
+  p.name = "practical";
+  return p;
+}
+
+Policy Policy::paper(double alpha, int c) {
+  Policy p;
+  p.name = "paper";
+  p.beta_fixed = 0;
+  p.beta_alpha = alpha;
+  p.c_exponent = c;
+  p.paper_p = true;
+  return p;
+}
+
+}  // namespace qplec

@@ -1,0 +1,74 @@
+#include "src/core/recurrence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace qplec {
+
+LogVal LogVal::from_value(double v) {
+  QPLEC_REQUIRE(v > 0);
+  return LogVal{std::log2(v)};
+}
+
+LogVal LogVal::operator+(LogVal other) const {
+  // log2(2^a + 2^b) = max + log2(1 + 2^(min-max)).
+  const double hi = std::max(l2, other.l2);
+  const double lo = std::min(l2, other.l2);
+  return LogVal{hi + std::log1p(std::exp2(lo - hi)) / std::log(2.0)};
+}
+
+namespace {
+
+LogVal t1(double log2d, const BkoConstants& k);
+
+// Lemma 4.5 with Theorem 4.1's parameters: p = sqrt(dbar), k = 2c:
+//   T(dbar, S, C) <= (k log p) * (1 + T(2p-1, 1, 2p)) + O(log* X).
+LogVal ts(double log2d, const BkoConstants& k) {
+  const double log2p = std::max(1.0, log2d / 2.0);
+  // T(2p-1, 1, 2p): degree ~ 2*sqrt(dbar).
+  const LogVal inner = t1(log2p + 1.0, k);
+  const LogVal phase_cost = LogVal::from_value(1.0) + inner;
+  return LogVal::from_value(2.0 * k.c * log2p) * phase_cost +
+         LogVal::from_value(k.log_star);
+}
+
+// Lemma 4.2 unrolled: O(log dbar) iterations, each paying one defective
+// coloring (O(log* X)) plus classes * (1 + T(dbar/2beta, beta, C)).
+LogVal t1(double log2d, const BkoConstants& k) {
+  if (log2d <= k.base_log2d) return LogVal::from_value(k.base_rounds);
+  const double beta = std::max(2.0, k.alpha * std::pow(log2d, 4.0 * k.c));
+  const double classes = k.class_factor * beta * beta;
+  const LogVal per_class = LogVal::from_value(1.0) + ts(log2d, k);
+  const LogVal per_iter =
+      LogVal::from_value(k.log_star) + LogVal::from_value(classes) * per_class;
+  return LogVal::from_value(std::max(1.0, log2d)) * per_iter;
+}
+
+}  // namespace
+
+double bko_log2_rounds(double log2_dbar, const BkoConstants& k) {
+  QPLEC_REQUIRE(log2_dbar >= 1.0);
+  return t1(log2_dbar, k).l2;
+}
+
+double kuh20_log2_rounds(double log2_dbar, double kappa) {
+  return kappa * std::sqrt(log2_dbar);
+}
+
+double fhk_log2_rounds(double log2_dbar) {
+  return log2_dbar / 2.0 + 2.5 * std::log2(std::max(2.0, log2_dbar));
+}
+
+double linear_log2_rounds(double log2_dbar, double c) {
+  return log2_dbar + std::log2(c);
+}
+
+double kw_log2_rounds(double log2_dbar) {
+  return 1.0 + log2_dbar + std::log2(log2_dbar + 2.0);
+}
+
+double quadratic_log2_rounds(double log2_dbar) { return 2.0 + 2.0 * log2_dbar; }
+
+}  // namespace qplec

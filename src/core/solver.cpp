@@ -1,0 +1,68 @@
+#include "src/core/solver.hpp"
+
+#include "src/coloring/conflict.hpp"
+#include "src/coloring/initial.hpp"
+#include "src/coloring/linial.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/subset.hpp"
+
+namespace qplec {
+
+SolveResult Solver::solve(const ListEdgeColoringInstance& instance) const {
+  validate_instance(instance);
+  return run(instance, 1.0);
+}
+
+SolveResult Solver::solve_relaxed(const ListEdgeColoringInstance& instance,
+                                  double slack) const {
+  QPLEC_REQUIRE(slack >= 1.0);
+  const Graph& g = instance.graph;
+  QPLEC_REQUIRE(static_cast<int>(instance.lists.size()) == g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    QPLEC_REQUIRE_MSG(
+        static_cast<double>(instance.lists[static_cast<std::size_t>(e)].size()) >
+            slack * g.edge_degree(e),
+        "edge " << e << " violates |L| > " << slack << " * deg(e)");
+  }
+  return run(instance, slack);
+}
+
+SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) const {
+  const Graph& g = instance.graph;
+
+  SolveResult res;
+  if (g.num_edges() == 0) {
+    res.colors.clear();
+    return res;
+  }
+
+  RoundLedger ledger;
+
+  // Phase 0: maintained helper coloring phi — O(log* n) rounds.
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  const EdgeSubset all = EdgeSubset::all(g);
+  const LineGraphConflict view(g, all);
+  LinialResult lin;
+  {
+    auto scope = ledger.sequential("initial-coloring");
+    lin = linial_reduce(view, init.colors, init.palette, g.max_edge_degree(), ledger);
+  }
+  res.initial_rounds = ledger.total();
+  res.phi_palette = lin.palette;
+
+  // Phases 1+: the Section 4 recursion.
+  SolverEngine engine(g, instance.lists, instance.palette_size, std::move(lin.colors),
+                      lin.palette, policy_, ledger, res.stats, 0);
+  {
+    auto scope = ledger.sequential("list-edge-coloring");
+    res.colors = slack > 1.0 ? engine.solve_relaxed_instance(slack) : engine.solve();
+  }
+
+  expect_valid_solution(instance, res.colors);
+  res.rounds = ledger.total();
+  res.raw_rounds = ledger.raw_total();
+  res.round_report = ledger.report(3);
+  return res;
+}
+
+}  // namespace qplec

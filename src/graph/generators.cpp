@@ -1,0 +1,278 @@
+#include "src/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/graph/builder.hpp"
+
+namespace qplec {
+
+Graph make_path(int n) {
+  QPLEC_REQUIRE(n >= 1);
+  GraphBuilder b(n);
+  for (int i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph make_cycle(int n) {
+  QPLEC_REQUIRE(n >= 3);
+  GraphBuilder b(n);
+  for (int i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return b.build();
+}
+
+Graph make_star(int leaves) {
+  QPLEC_REQUIRE(leaves >= 0);
+  GraphBuilder b(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) b.add_edge(0, i);
+  return b.build();
+}
+
+Graph make_complete(int n) {
+  QPLEC_REQUIRE(n >= 1);
+  GraphBuilder b(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) b.add_edge(i, j);
+  }
+  return b.build();
+}
+
+Graph make_complete_bipartite(int a, int b_count) {
+  QPLEC_REQUIRE(a >= 1 && b_count >= 1);
+  GraphBuilder b(a + b_count);
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b_count; ++j) b.add_edge(i, a + j);
+  }
+  return b.build();
+}
+
+Graph make_grid(int rows, int cols) {
+  QPLEC_REQUIRE(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_torus(int rows, int cols) {
+  QPLEC_REQUIRE(rows >= 3 && cols >= 3);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_hypercube(int dimension) {
+  QPLEC_REQUIRE(dimension >= 0 && dimension <= 24);
+  const int n = 1 << dimension;
+  GraphBuilder b(n);
+  for (int v = 0; v < n; ++v) {
+    for (int d = 0; d < dimension; ++d) {
+      const int w = v ^ (1 << d);
+      if (v < w) b.add_edge(v, w);
+    }
+  }
+  return b.build();
+}
+
+Graph make_random_tree(int n, std::uint64_t seed) {
+  QPLEC_REQUIRE(n >= 1);
+  GraphBuilder b(n);
+  if (n >= 2) {
+    if (n == 2) {
+      b.add_edge(0, 1);
+    } else {
+      // Decode a uniformly random Prüfer sequence of length n-2.
+      Rng rng(seed);
+      std::vector<int> prufer(static_cast<std::size_t>(n) - 2);
+      for (auto& x : prufer) x = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+      std::vector<int> deg(static_cast<std::size_t>(n), 1);
+      for (int x : prufer) ++deg[static_cast<std::size_t>(x)];
+      int ptr = 0;
+      while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      int leaf = ptr;
+      for (int x : prufer) {
+        b.add_edge(leaf, x);
+        if (--deg[static_cast<std::size_t>(x)] == 1 && x < ptr) {
+          leaf = x;
+        } else {
+          ++ptr;
+          while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+          leaf = ptr;
+        }
+      }
+      b.add_edge(leaf, n - 1);
+    }
+  }
+  return b.build();
+}
+
+Graph make_gnp(int n, double p, std::uint64_t seed) {
+  QPLEC_REQUIRE(n >= 0);
+  QPLEC_REQUIRE(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  Rng rng(seed);
+  if (p > 0.0) {
+    if (p >= 0.25) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          if (rng.next_bool(p)) b.add_edge(i, j);
+        }
+      }
+    } else {
+      // Geometric skipping over the (i, j) enumeration: expected O(m) time.
+      const double log1mp = std::log1p(-p);
+      std::int64_t idx = -1;
+      const std::int64_t total = static_cast<std::int64_t>(n) * (n - 1) / 2;
+      while (true) {
+        const double r = rng.next_double();
+        const auto skip = static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+        idx += 1 + skip;
+        if (idx >= total) break;
+        // Invert the pair index: find i with offset(i) <= idx < offset(i+1).
+        std::int64_t lo = 0, hi = n - 1;
+        auto offset = [n](std::int64_t i) {
+          return i * (2 * n - i - 1) / 2;
+        };
+        while (lo < hi) {
+          const std::int64_t mid = (lo + hi + 1) / 2;
+          if (offset(mid) <= idx) lo = mid; else hi = mid - 1;
+        }
+        const auto i = static_cast<int>(lo);
+        const auto j = static_cast<int>(idx - offset(lo) + lo + 1);
+        b.add_edge(i, j);
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph make_random_regular(int n, int d, std::uint64_t seed) {
+  QPLEC_REQUIRE(n >= 1);
+  QPLEC_REQUIRE(d >= 0 && d < n);
+  QPLEC_REQUIRE_MSG(static_cast<std::int64_t>(n) * d % 2 == 0, "n*d must be even");
+  if (d == 0) return GraphBuilder(n).build();
+
+  // Start from an exact d-regular circulant (offsets 1..d/2, plus the
+  // antipodal matching when d is odd), then randomize with double-edge swaps
+  // that preserve both regularity and simplicity.  Unlike configuration-
+  // model rejection this works at any density.
+  std::vector<EdgeEndpoints> edges;
+  auto canon = [](int a, int b) {
+    return a < b ? EdgeEndpoints{a, b} : EdgeEndpoints{b, a};
+  };
+  for (int off = 1; off <= d / 2; ++off) {
+    for (int v = 0; v < n; ++v) edges.push_back(canon(v, (v + off) % n));
+  }
+  if (d % 2 == 1) {
+    QPLEC_REQUIRE_MSG(n % 2 == 0, "odd degree requires even n");
+    for (int v = 0; v < n / 2; ++v) edges.push_back(canon(v, v + n / 2));
+  }
+  // Offsets off and n-off coincide when 2*off == n; guard against the
+  // resulting duplicates by requiring d/2 < n/2, implied by d < n.
+  {
+    std::vector<EdgeEndpoints> dedup = edges;
+    std::sort(dedup.begin(), dedup.end(), [](const EdgeEndpoints& a, const EdgeEndpoints& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+    QPLEC_ASSERT_MSG(std::adjacent_find(dedup.begin(), dedup.end()) == dedup.end(),
+                     "circulant seed produced duplicate edges");
+  }
+
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  auto connected = [&](int a, int b) {
+    const auto& la = adj[static_cast<std::size_t>(a)];
+    return std::find(la.begin(), la.end(), b) != la.end();
+  };
+  auto replace_nbr = [&](int v, int old_nbr, int new_nbr) {
+    auto& lv = adj[static_cast<std::size_t>(v)];
+    *std::find(lv.begin(), lv.end(), old_nbr) = new_nbr;
+  };
+
+  Rng rng(seed);
+  const std::size_t swaps = 10 * edges.size();
+  for (std::size_t t = 0; t < swaps; ++t) {
+    const std::size_t i = static_cast<std::size_t>(rng.next_below(edges.size()));
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(edges.size()));
+    if (i == j) continue;
+    int a = edges[i].u, b = edges[i].v;
+    int c = edges[j].u, e2 = edges[j].v;
+    if (rng.next_bool(0.5)) std::swap(c, e2);
+    // Proposed swap: {a,b},{c,e2} -> {a,c},{b,e2}.
+    if (a == c || a == e2 || b == c || b == e2) continue;
+    if (connected(a, c) || connected(b, e2)) continue;
+    replace_nbr(a, b, c);
+    replace_nbr(c, e2, a);
+    replace_nbr(b, a, e2);
+    replace_nbr(e2, c, b);
+    edges[i] = canon(a, c);
+    edges[j] = canon(b, e2);
+  }
+
+  GraphBuilder builder(n);
+  for (const auto& e : edges) builder.add_edge(e.u, e.v);
+  Graph g = builder.build();
+  QPLEC_ASSERT(g.num_edges() == static_cast<int>(edges.size()));
+  QPLEC_ASSERT(g.max_degree() == d);
+  return g;
+}
+
+Graph make_power_law(int n, double gamma, double max_expected_degree, std::uint64_t seed) {
+  QPLEC_REQUIRE(n >= 1);
+  QPLEC_REQUIRE(gamma > 2.0);
+  QPLEC_REQUIRE(max_expected_degree >= 1.0);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  const double exponent = -1.0 / (gamma - 1.0);
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), exponent);
+  }
+  const double scale = max_expected_degree / w[0];
+  double total = 0.0;
+  for (auto& x : w) {
+    x *= scale;
+    total += x;
+  }
+  GraphBuilder b(n);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double p = std::min(1.0, w[static_cast<std::size_t>(i)] *
+                                         w[static_cast<std::size_t>(j)] / total);
+      if (p > 0 && rng.next_bool(p)) b.add_edge(i, j);
+    }
+  }
+  return b.build();
+}
+
+Graph make_random_bipartite_regular(int a, int b_count, int d, std::uint64_t seed) {
+  QPLEC_REQUIRE(a >= 1 && b_count >= 1);
+  QPLEC_REQUIRE(d >= 0 && d <= b_count);
+  GraphBuilder b(a + b_count);
+  Rng rng(seed);
+  std::vector<int> rights(static_cast<std::size_t>(b_count));
+  std::iota(rights.begin(), rights.end(), 0);
+  for (int i = 0; i < a; ++i) {
+    rng.shuffle(rights);
+    for (int k = 0; k < d; ++k) b.add_edge(i, a + rights[static_cast<std::size_t>(k)]);
+  }
+  return b.build();
+}
+
+}  // namespace qplec

@@ -1,0 +1,61 @@
+// Deterministic graph generators for tests, examples and benchmarks.
+//
+// Every generator is a pure function of its parameters (and a seed for the
+// randomized ones), so experiments are reproducible bit-for-bit.  The
+// families cover the regimes the paper's analysis distinguishes: bounded
+// degree (cycles, paths, grids), degree growing with n (hypercubes,
+// complete graphs), regular graphs of prescribed Delta (the main sweep axis
+// of the benchmarks), irregular / heavy-tailed degree distributions
+// (Chung–Lu), and bipartite graphs (the switch-scheduling example).
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.hpp"
+
+namespace qplec {
+
+/// Simple path with n >= 1 nodes (n - 1 edges).
+Graph make_path(int n);
+
+/// Cycle with n >= 3 nodes.
+Graph make_cycle(int n);
+
+/// Star K_{1,leaves}.
+Graph make_star(int leaves);
+
+/// Complete graph K_n.
+Graph make_complete(int n);
+
+/// Complete bipartite graph K_{a,b}.
+Graph make_complete_bipartite(int a, int b);
+
+/// rows x cols grid (4-neighborhood).
+Graph make_grid(int rows, int cols);
+
+/// rows x cols torus (wrap-around grid); rows, cols >= 3.
+Graph make_torus(int rows, int cols);
+
+/// d-dimensional hypercube (2^d nodes, degree d).
+Graph make_hypercube(int dimension);
+
+/// Uniform random tree on n nodes (random Prüfer sequence).
+Graph make_random_tree(int n, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p).
+Graph make_gnp(int n, double p, std::uint64_t seed);
+
+/// Random d-regular graph via the configuration model with rejection of
+/// self-loops/multi-edges (retries internally; requires n*d even, d < n).
+Graph make_random_regular(int n, int d, std::uint64_t seed);
+
+/// Chung–Lu graph with power-law expected degrees: weight of node i is
+/// proportional to (i+1)^(-1/(gamma-1)), scaled so the max expected degree is
+/// max_expected_degree.  gamma > 2.
+Graph make_power_law(int n, double gamma, double max_expected_degree, std::uint64_t seed);
+
+/// Random bipartite graph: a left nodes, b right nodes, each left node gets
+/// exactly d distinct right neighbors (d <= b).  Models switch traffic.
+Graph make_random_bipartite_regular(int a, int b, int d, std::uint64_t seed);
+
+}  // namespace qplec

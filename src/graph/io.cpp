@@ -1,0 +1,61 @@
+#include "src/graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/builder.hpp"
+
+namespace qplec {
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  long long n = -1, m = -1;
+  std::vector<std::pair<long long, long long>> edges;
+
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (n < 0) {
+      if (!(ls >> n >> m) || n < 0 || m < 0) {
+        throw std::invalid_argument("edge list: malformed header line: " + line);
+      }
+      edges.reserve(static_cast<std::size_t>(m));
+      continue;
+    }
+    long long u, v;
+    if (!(ls >> u >> v)) {
+      throw std::invalid_argument("edge list: malformed edge line: " + line);
+    }
+    edges.emplace_back(u, v);
+  }
+  if (n < 0) throw std::invalid_argument("edge list: missing header");
+  if (static_cast<long long>(edges.size()) != m) {
+    throw std::invalid_argument("edge list: header promised " + std::to_string(m) +
+                                " edges, found " + std::to_string(edges.size()));
+  }
+  GraphBuilder builder(static_cast<int>(n));
+  for (const auto& [u, v] : edges) {
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return builder.build();
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ep = g.endpoints(e);
+    out << ep.u << ' ' << ep.v << '\n';
+  }
+}
+
+Graph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+}  // namespace qplec

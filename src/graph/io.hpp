@@ -1,0 +1,25 @@
+// Plain-text edge-list I/O.
+//
+// Format: first line "n m", then m lines "u v" with 0-based node indices.
+// Lines starting with '#' are comments.  This is the interchange format the
+// examples use to load custom topologies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.hpp"
+
+namespace qplec {
+
+/// Parses a graph from an edge-list stream.  Throws std::invalid_argument on
+/// malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Writes g in the edge-list format.
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Convenience: parse from a string.
+Graph parse_edge_list(const std::string& text);
+
+}  // namespace qplec

@@ -1,0 +1,107 @@
+#include "src/graph/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/assert.hpp"
+
+namespace qplec {
+namespace {
+
+/// BFS distances from source; -1 for unreachable.
+std::vector<int> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (const Incidence& inc : g.incident(v)) {
+      if (dist[static_cast<std::size_t>(inc.neighbor)] < 0) {
+        dist[static_cast<std::size_t>(inc.neighbor)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push(inc.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+int num_connected_components(const Graph& g) {
+  std::vector<char> seen(static_cast<std::size_t>(g.num_nodes()), 0);
+  int components = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (seen[static_cast<std::size_t>(v)]) continue;
+    ++components;
+    const auto dist = bfs_distances(g, v);
+    for (NodeId w = 0; w < g.num_nodes(); ++w) {
+      if (dist[static_cast<std::size_t>(w)] >= 0) seen[static_cast<std::size_t>(w)] = 1;
+    }
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) { return g.num_nodes() <= 1 || num_connected_components(g) == 1; }
+
+int eccentricity(const Graph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  int ecc = 0;
+  for (const int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  int best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) best = std::max(best, eccentricity(g, v));
+  return best;
+}
+
+int degeneracy(const Graph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> deg(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) deg[static_cast<std::size_t>(v)] = g.degree(v);
+  // Bucket peeling: repeatedly remove a minimum-degree node.
+  const int maxd = g.max_degree();
+  std::vector<std::vector<NodeId>> buckets(static_cast<std::size_t>(maxd) + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])].push_back(v);
+  }
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+  int degen = 0;
+  int cursor = 0;
+  for (int peeled = 0; peeled < n;) {
+    while (cursor <= maxd && buckets[static_cast<std::size_t>(cursor)].empty()) ++cursor;
+    QPLEC_ASSERT(cursor <= maxd || peeled == n);
+    auto& bucket = buckets[static_cast<std::size_t>(cursor)];
+    const NodeId v = bucket.back();
+    bucket.pop_back();
+    if (removed[static_cast<std::size_t>(v)] ||
+        deg[static_cast<std::size_t>(v)] != cursor) {
+      continue;  // stale entry
+    }
+    removed[static_cast<std::size_t>(v)] = 1;
+    ++peeled;
+    degen = std::max(degen, cursor);
+    for (const Incidence& inc : g.incident(v)) {
+      if (removed[static_cast<std::size_t>(inc.neighbor)]) continue;
+      auto& dn = deg[static_cast<std::size_t>(inc.neighbor)];
+      --dn;
+      buckets[static_cast<std::size_t>(dn)].push_back(inc.neighbor);
+      cursor = std::min(cursor, dn);
+    }
+  }
+  return degen;
+}
+
+std::vector<int> degree_histogram(const Graph& g) {
+  std::vector<int> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++hist[static_cast<std::size_t>(g.degree(v))];
+  }
+  return hist;
+}
+
+}  // namespace qplec

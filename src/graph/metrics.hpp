@@ -1,0 +1,34 @@
+// Structural graph metrics used by experiments and examples: connectivity,
+// diameter/eccentricity (BFS), degeneracy (the greedy coloring number), and
+// degree histograms.  These quantify the workload families the benchmarks
+// sweep over (e.g. power-law vs regular) and provide lower-bound context
+// (any edge coloring needs >= Delta colors; greedy uses <= 2*degeneracy+...).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace qplec {
+
+/// Number of connected components (isolated nodes count as components).
+int num_connected_components(const Graph& g);
+
+/// True iff the graph is connected (vacuously true for n <= 1).
+bool is_connected(const Graph& g);
+
+/// Eccentricity of v (max BFS distance to a reachable node).
+int eccentricity(const Graph& g, NodeId v);
+
+/// Exact diameter of the largest component via all-source BFS — O(n*m),
+/// intended for the small/medium graphs of tests and examples.
+int diameter(const Graph& g);
+
+/// Degeneracy: the largest minimum degree over all subgraphs, computed by
+/// the standard peeling order.  Also the arboricity's 2-approximation.
+int degeneracy(const Graph& g);
+
+/// histogram[d] = number of nodes of degree d (size max_degree + 1).
+std::vector<int> degree_histogram(const Graph& g);
+
+}  // namespace qplec

@@ -1,0 +1,81 @@
+// EdgeSubset: a set of edge ids of a fixed Graph, used to run coloring
+// phases on induced sub-line-graphs.
+//
+// The paper's recursion constantly restricts attention to "the subgraph
+// induced by edges with property P" (a defective color class, the still-
+// uncolored edges, the edges assigned a given color subspace).  EdgeSubset
+// provides O(1) membership, iteration over members, and induced edge degrees
+// deg_H(e) = |{f adjacent to e : f in H}| without copying the graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace qplec {
+
+class EdgeSubset {
+ public:
+  /// Empty subset over a graph with num_edges edges.
+  explicit EdgeSubset(int num_edges) : member_(static_cast<std::size_t>(num_edges), 0) {}
+
+  /// Full subset of all edges of g.
+  static EdgeSubset all(const Graph& g);
+
+  /// Subset from an explicit list of edge ids.
+  static EdgeSubset of(int num_edges, const std::vector<EdgeId>& edges);
+
+  int universe_size() const { return static_cast<int>(member_.size()); }
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(EdgeId e) const {
+    QPLEC_REQUIRE(e >= 0 && e < universe_size());
+    return member_[static_cast<std::size_t>(e)] != 0;
+  }
+
+  void insert(EdgeId e) {
+    QPLEC_REQUIRE(e >= 0 && e < universe_size());
+    auto& m = member_[static_cast<std::size_t>(e)];
+    if (!m) {
+      m = 1;
+      ++size_;
+    }
+  }
+
+  void erase(EdgeId e) {
+    QPLEC_REQUIRE(e >= 0 && e < universe_size());
+    auto& m = member_[static_cast<std::size_t>(e)];
+    if (m) {
+      m = 0;
+      --size_;
+    }
+  }
+
+  /// Members in increasing edge-id order.
+  std::vector<EdgeId> to_vector() const;
+
+  /// Induced line-graph degree of e within this subset (e need not be a
+  /// member; the count is over neighbors only).
+  int induced_edge_degree(const Graph& g, EdgeId e) const;
+
+  /// Maximum induced line-graph degree over the members (0 if empty).
+  int max_induced_edge_degree(const Graph& g) const;
+
+  /// Applies fn to every member.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t e = 0; e < member_.size(); ++e) {
+      if (member_[e]) fn(static_cast<EdgeId>(e));
+    }
+  }
+
+  friend bool operator==(const EdgeSubset&, const EdgeSubset&) = default;
+
+ private:
+  std::vector<std::uint8_t> member_;
+  int size_ = 0;
+};
+
+}  // namespace qplec

@@ -1,0 +1,70 @@
+// Double-buffered per-edge state — the edge-local step framework.
+//
+// The composite algorithms of the paper are sequences of synchronous steps
+// of the form "every (active) edge inspects the previous-round state of its
+// line-graph neighbors and updates its own state".  Buffered<T> provides the
+// two-plane discipline: reads always see the committed plane (the state at
+// the end of the previous round), writes go to the staging plane, and
+// commit() flips at the round barrier.  Using read()/write()/commit()
+// correctly makes a step mechanically local: no information can travel more
+// than one line-graph hop per committed round.
+//
+// The round itself is charged to a RoundLedger by the caller; helpers below
+// bundle the common "one step + one charge" pattern.
+#pragma once
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/subset.hpp"
+#include "src/local/ledger.hpp"
+
+namespace qplec {
+
+template <typename T>
+class Buffered {
+ public:
+  Buffered(std::size_t size, const T& initial)
+      : committed_(size, initial), staged_(size, initial) {}
+
+  /// Committed (previous-round) value.
+  const T& read(EdgeId e) const { return committed_[index(e)]; }
+
+  /// Stages a value for the next round.
+  void write(EdgeId e, T value) { staged_[index(e)] = std::move(value); }
+
+  /// Round barrier: staged values become readable.  Entries not written this
+  /// round keep their previous value (staged_ starts as a copy and is
+  /// re-synced here).
+  void commit() { committed_ = staged_; }
+
+  std::size_t size() const { return committed_.size(); }
+
+  /// Direct access to the committed plane (for validators / final readout).
+  const std::vector<T>& snapshot() const { return committed_; }
+
+ private:
+  std::size_t index(EdgeId e) const {
+    QPLEC_REQUIRE(e >= 0 && static_cast<std::size_t>(e) < committed_.size());
+    return static_cast<std::size_t>(e);
+  }
+
+  std::vector<T> committed_;
+  std::vector<T> staged_;
+};
+
+/// Runs one synchronous edge-local round: `step(e)` is invoked for every
+/// member of `active`; the caller's Buffered planes are committed afterwards
+/// by the supplied commit functor; 1 round is charged to `phase`.
+template <typename Step, typename Commit>
+void edge_local_round(const EdgeSubset& active, RoundLedger& ledger,
+                      std::string_view phase, Step&& step, Commit&& commit) {
+  ledger.charge(1, phase);
+  active.for_each(step);
+  commit();
+}
+
+}  // namespace qplec

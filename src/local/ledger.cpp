@@ -1,0 +1,98 @@
+#include "src/local/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace qplec {
+
+RoundLedger::RoundLedger() : root_(std::make_unique<Node>()) {
+  root_->name = "total";
+  stack_.push_back(root_.get());
+}
+
+void RoundLedger::charge(std::int64_t rounds, std::string_view phase) {
+  QPLEC_REQUIRE(rounds >= 0);
+  stack_.back()->self += rounds;
+  phases_[std::string(phase)] += rounds;
+}
+
+RoundLedger::Scope::~Scope() {
+  if (ledger_ != nullptr) ledger_->close_scope();
+}
+
+RoundLedger::Scope::Scope(Scope&& other) noexcept : ledger_(other.ledger_) {
+  other.ledger_ = nullptr;
+}
+
+RoundLedger::Scope RoundLedger::sequential(std::string_view name) {
+  auto child = std::make_unique<Node>();
+  child->name = std::string(name);
+  child->parallel = false;
+  Node* raw_ptr = child.get();
+  stack_.back()->children.push_back(std::move(child));
+  stack_.push_back(raw_ptr);
+  return Scope(this);
+}
+
+RoundLedger::Scope RoundLedger::parallel(std::string_view name) {
+  auto child = std::make_unique<Node>();
+  child->name = std::string(name);
+  child->parallel = true;
+  Node* raw_ptr = child.get();
+  stack_.back()->children.push_back(std::move(child));
+  stack_.push_back(raw_ptr);
+  return Scope(this);
+}
+
+void RoundLedger::close_scope() {
+  QPLEC_ASSERT_MSG(stack_.size() > 1, "scope underflow");
+  stack_.pop_back();
+}
+
+std::int64_t RoundLedger::eval(const Node& node) {
+  if (node.parallel) {
+    std::int64_t best = 0;
+    for (const auto& c : node.children) best = std::max(best, eval(*c));
+    return node.self + best;
+  }
+  std::int64_t sum = node.self;
+  for (const auto& c : node.children) sum += eval(*c);
+  return sum;
+}
+
+std::int64_t RoundLedger::raw(const Node& node) {
+  std::int64_t sum = node.self;
+  for (const auto& c : node.children) sum += raw(*c);
+  return sum;
+}
+
+std::int64_t RoundLedger::total() const { return eval(*root_); }
+
+std::int64_t RoundLedger::raw_total() const { return raw(*root_); }
+
+std::map<std::string, std::int64_t> RoundLedger::phase_breakdown() const { return phases_; }
+
+void RoundLedger::format(const Node& node, int depth, int max_depth, std::string& out) const {
+  std::ostringstream line;
+  for (int i = 0; i < depth; ++i) line << "  ";
+  line << (node.parallel ? "[par] " : "[seq] ") << node.name << ": " << eval(node)
+       << " rounds";
+  if (!node.children.empty() && depth + 1 >= max_depth) {
+    line << " (" << node.children.size() << " children elided)";
+  }
+  line << '\n';
+  out += line.str();
+  if (depth + 1 < max_depth) {
+    for (const auto& c : node.children) format(*c, depth + 1, max_depth, out);
+  }
+}
+
+std::string RoundLedger::report(int max_depth) const {
+  std::string out;
+  format(*root_, 0, max_depth, out);
+  return out;
+}
+
+}  // namespace qplec

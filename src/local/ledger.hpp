@@ -1,0 +1,92 @@
+// RoundLedger — machine-checked round accounting for the LOCAL model.
+//
+// The paper's complexity statements compose in two ways:
+//   * sequential phases add ("iterate over the O(beta^2) color classes"), and
+//   * independent subinstances on edge-disjoint subgraphs run in parallel and
+//     cost the maximum of their individual costs ("the q problem instances
+//     can be solved in parallel").
+// The ledger records charges into a tree of scopes.  A sequential scope's
+// cost is its own charges plus the SUM of its children; a parallel scope's
+// cost is its own charges plus the MAX over its children.  total() is the
+// effective LOCAL-model round count of the whole execution; raw_total() is
+// the plain sum of all charges (an upper bound that ignores parallelism,
+// useful as a sanity cross-check: total() <= raw_total() always).
+//
+// Every charge also carries a phase label so experiments can break the round
+// count down by algorithm component (defective coloring vs. subspace
+// assignment vs. base cases, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qplec {
+
+class RoundLedger {
+ public:
+  RoundLedger();
+  RoundLedger(const RoundLedger&) = delete;
+  RoundLedger& operator=(const RoundLedger&) = delete;
+
+  /// Charges `rounds` synchronous communication rounds to the current scope,
+  /// attributed to `phase` in the breakdown.
+  void charge(std::int64_t rounds, std::string_view phase);
+
+  /// RAII handle closing its scope on destruction.
+  class Scope {
+   public:
+    ~Scope();
+    Scope(Scope&& other) noexcept;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+
+   private:
+    friend class RoundLedger;
+    explicit Scope(RoundLedger* ledger) : ledger_(ledger) {}
+    RoundLedger* ledger_;
+  };
+
+  /// Opens a child scope whose children compose sequentially (sum).
+  [[nodiscard]] Scope sequential(std::string_view name);
+
+  /// Opens a child scope whose children compose in parallel (max).  Charges
+  /// made directly inside the parallel scope (outside any child) are added on
+  /// top of the max.
+  [[nodiscard]] Scope parallel(std::string_view name);
+
+  /// Effective LOCAL-model rounds of the execution recorded so far.
+  std::int64_t total() const;
+
+  /// Plain sum of every charge, ignoring parallel composition.
+  std::int64_t raw_total() const;
+
+  /// Raw charge totals grouped by phase label.
+  std::map<std::string, std::int64_t> phase_breakdown() const;
+
+  /// Human-readable scope tree down to `max_depth` levels.
+  std::string report(int max_depth = 3) const;
+
+ private:
+  struct Node {
+    std::string name;
+    bool parallel = false;
+    std::int64_t self = 0;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  static std::int64_t eval(const Node& node);
+  static std::int64_t raw(const Node& node);
+  void close_scope();
+  void format(const Node& node, int depth, int max_depth, std::string& out) const;
+
+  std::unique_ptr<Node> root_;
+  std::vector<Node*> stack_;
+  std::map<std::string, std::int64_t> phases_;
+};
+
+}  // namespace qplec

@@ -1,0 +1,125 @@
+#include "src/coloring/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/coloring/greedy.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+struct BaselineCase {
+  int n;
+  int d;
+  std::uint64_t seed;
+};
+
+class BaselineFamilyTest : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(BaselineFamilyTest, GreedyByClassValid) {
+  const auto [n, d, seed] = GetParam();
+  const auto inst = make_two_delta_instance(
+      make_random_regular(n, d, seed).with_scrambled_ids(
+          static_cast<std::uint64_t>(n) * n, seed + 1));
+  RoundLedger ledger;
+  const auto res = baseline_greedy_by_class(inst, ledger);
+  EXPECT_TRUE(is_valid_list_coloring(inst, res.colors));
+  // O(dbar^2 + log*) shape: rounds dominated by the reduced palette size.
+  const int dbar = inst.graph.max_edge_degree();
+  EXPECT_LE(res.rounds, 7 * (dbar + 2) * (dbar + 2) + 20);
+}
+
+TEST_P(BaselineFamilyTest, KuhnWattenhoferValidAndUsesFewColors) {
+  const auto [n, d, seed] = GetParam();
+  const auto inst = make_two_delta_instance(
+      make_random_regular(n, d, seed).with_scrambled_ids(
+          static_cast<std::uint64_t>(n) * n, seed + 1));
+  RoundLedger ledger;
+  const auto res = baseline_kuhn_wattenhofer(inst, ledger);
+  EXPECT_TRUE(is_valid_list_coloring(inst, res.colors));
+  // Final palette is dbar+1 <= 2*Delta-1.
+  const Color max_used =
+      *std::max_element(res.colors.begin(), res.colors.end());
+  EXPECT_LE(max_used, inst.graph.max_edge_degree());
+}
+
+TEST_P(BaselineFamilyTest, LubyValid) {
+  const auto [n, d, seed] = GetParam();
+  const auto inst = make_two_delta_instance(
+      make_random_regular(n, d, seed).with_scrambled_ids(
+          static_cast<std::uint64_t>(n) * n, seed + 1));
+  RoundLedger ledger;
+  const auto res = baseline_luby(inst, seed + 7, ledger);
+  EXPECT_TRUE(is_valid_list_coloring(inst, res.colors));
+  // O(log n) w.h.p.; generous bound for these sizes.
+  EXPECT_LE(res.rounds, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegularSweep, BaselineFamilyTest,
+                         ::testing::Values(BaselineCase{20, 3, 1}, BaselineCase{40, 6, 2},
+                                           BaselineCase{60, 9, 3}, BaselineCase{50, 12, 4},
+                                           BaselineCase{30, 16, 5}));
+
+TEST(Baselines, KWBeatsGreedyByClassOnRounds) {
+  // O(dbar log dbar) vs O(dbar^2): at dbar ~ 40 KW must already win.
+  const auto inst = make_two_delta_instance(
+      make_random_regular(60, 21, 9).with_scrambled_ids(3600, 10));
+  RoundLedger l1, l2;
+  const auto greedy = baseline_greedy_by_class(inst, l1);
+  const auto kw = baseline_kuhn_wattenhofer(inst, l2);
+  EXPECT_LT(kw.rounds, greedy.rounds);
+}
+
+TEST(Baselines, LubySolvesListInstances) {
+  const auto inst = make_random_list_instance(
+      make_gnp(80, 0.1, 11).with_scrambled_ids(6400, 12), 100, 13);
+  RoundLedger ledger;
+  const auto res = baseline_luby(inst, 99, ledger);
+  EXPECT_TRUE(is_valid_list_coloring(inst, res.colors));
+}
+
+TEST(Baselines, LubyDeterministicBySeed) {
+  const auto inst = make_two_delta_instance(
+      make_gnp(40, 0.2, 21).with_scrambled_ids(1600, 22));
+  RoundLedger l1, l2, l3;
+  const auto a = baseline_luby(inst, 5, l1);
+  const auto b = baseline_luby(inst, 5, l2);
+  const auto c = baseline_luby(inst, 6, l3);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.rounds, b.rounds);
+  bool differ = a.rounds != c.rounds || !(a.colors == c.colors);
+  EXPECT_TRUE(differ);
+}
+
+TEST(Baselines, KWRejectsNonRangeLists) {
+  const auto inst = make_random_list_instance(
+      make_gnp(30, 0.2, 31).with_scrambled_ids(900, 32), 100, 33);
+  RoundLedger ledger;
+  EXPECT_THROW(baseline_kuhn_wattenhofer(inst, ledger), std::invalid_argument);
+}
+
+TEST(Baselines, EmptyGraphHandled) {
+  ListEdgeColoringInstance inst;
+  inst.graph = Graph();
+  RoundLedger l1, l2, l3;
+  EXPECT_TRUE(baseline_greedy_by_class(inst, l1).colors.empty());
+  EXPECT_TRUE(baseline_kuhn_wattenhofer(inst, l2).colors.empty());
+  EXPECT_TRUE(baseline_luby(inst, 1, l3).colors.empty());
+}
+
+TEST(Baselines, AllAlgorithmsAgreeOnValidity) {
+  // Same instance through every algorithm; all valid, possibly different.
+  const auto inst = make_two_delta_instance(
+      make_hypercube(5).with_scrambled_ids(1024, 41));
+  RoundLedger l1, l2, l3;
+  EXPECT_TRUE(is_valid_list_coloring(inst, baseline_greedy_by_class(inst, l1).colors));
+  EXPECT_TRUE(is_valid_list_coloring(inst, baseline_kuhn_wattenhofer(inst, l2).colors));
+  EXPECT_TRUE(is_valid_list_coloring(inst, baseline_luby(inst, 3, l3).colors));
+  EXPECT_TRUE(is_valid_list_coloring(inst, greedy_centralized(inst)));
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,73 @@
+#include "src/local/buffered.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(Buffered, ReadsSeeCommittedPlaneOnly) {
+  Buffered<int> buf(4, 0);
+  buf.write(1, 42);
+  EXPECT_EQ(buf.read(1), 0);  // not yet committed
+  buf.commit();
+  EXPECT_EQ(buf.read(1), 42);
+}
+
+TEST(Buffered, UnwrittenEntriesKeepValueAcrossCommit) {
+  Buffered<int> buf(3, 7);
+  buf.write(0, 1);
+  buf.commit();
+  EXPECT_EQ(buf.read(0), 1);
+  EXPECT_EQ(buf.read(1), 7);
+  buf.commit();  // commit with no writes keeps everything
+  EXPECT_EQ(buf.read(0), 1);
+}
+
+TEST(Buffered, BoundsChecked) {
+  Buffered<int> buf(2, 0);
+  EXPECT_THROW(buf.read(2), std::invalid_argument);
+  EXPECT_THROW(buf.write(-1, 0), std::invalid_argument);
+}
+
+TEST(Buffered, InformationMovesOneHopPerRound) {
+  // A token propagates along a path's line graph one edge per committed
+  // round — the locality property the framework exists to enforce.
+  const Graph g = make_path(6);  // edges 0..4 in a line
+  const EdgeSubset all = EdgeSubset::all(g);
+  RoundLedger ledger;
+  Buffered<int> token(static_cast<std::size_t>(g.num_edges()), 0);
+  token.write(0, 1);
+  token.commit();
+
+  for (int round = 1; round <= 3; ++round) {
+    edge_local_round(
+        all, ledger, "spread",
+        [&](EdgeId e) {
+          int best = token.read(e);
+          g.for_each_edge_neighbor(e, [&](EdgeId f) { best = std::max(best, token.read(f)); });
+          token.write(e, best);
+        },
+        [&] { token.commit(); });
+    // After r rounds the token reaches exactly edges 0..r.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_EQ(token.read(e), e <= round ? 1 : 0) << "round " << round << " edge " << e;
+    }
+  }
+  EXPECT_EQ(ledger.total(), 3);
+}
+
+TEST(Buffered, EdgeLocalRoundChargesOneRound) {
+  const Graph g = make_cycle(5);
+  const EdgeSubset all = EdgeSubset::all(g);
+  RoundLedger ledger;
+  int visits = 0;
+  edge_local_round(all, ledger, "noop", [&](EdgeId) { ++visits; }, [] {});
+  EXPECT_EQ(visits, 5);
+  EXPECT_EQ(ledger.total(), 1);
+  EXPECT_EQ(ledger.phase_breakdown().at("noop"), 1);
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,136 @@
+#include "src/coloring/defective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/initial.hpp"
+#include "src/coloring/linial.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+struct DefCase {
+  const char* name;
+  Graph graph;
+  int beta;
+};
+
+class DefectiveTest : public ::testing::TestWithParam<int> {};
+
+/// Runs the defective coloring and checks every guarantee of Section 4.1.
+void check_defective(const Graph& g, const EdgeSubset& H, int beta) {
+  if (g.num_edges() == 0) return;
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger ledger;
+  const DefectiveColoring dc =
+      defective_edge_coloring(g, H, beta, init.colors, init.palette, ledger);
+
+  // Palette size exactly 3 * 4beta(4beta+1)/2 = O(beta^2).
+  EXPECT_EQ(dc.num_classes, 3 * (4 * beta) * (4 * beta + 1) / 2);
+
+  H.for_each([&](EdgeId e) {
+    const int cls = dc.cls[static_cast<std::size_t>(e)];
+    ASSERT_GE(cls, 0);
+    ASSERT_LT(cls, dc.num_classes);
+    // The paper's defect bound: defect(e) <= deg_H(e) / (2 beta).
+    const int defect = edge_defect(g, H, dc.cls, e);
+    EXPECT_LE(2 * beta * defect, H.induced_edge_degree(g, e))
+        << "edge " << e << " beta " << beta;
+  });
+  // Edges outside H are untouched.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!H.contains(e)) {
+      EXPECT_EQ(dc.cls[static_cast<std::size_t>(e)], -1);
+    }
+  }
+  // O(log* X) rounds: a small constant for these sizes.
+  EXPECT_LE(ledger.total(), 80);
+  EXPECT_EQ(ledger.total(), dc.rounds);
+}
+
+TEST_P(DefectiveTest, GuaranteesOnCompleteGraph) {
+  const int beta = GetParam();
+  const Graph g = make_complete(14).with_scrambled_ids(14 * 14, 3);
+  check_defective(g, EdgeSubset::all(g), beta);
+}
+
+TEST_P(DefectiveTest, GuaranteesOnRegularGraph) {
+  const int beta = GetParam();
+  const Graph g = make_random_regular(40, 9, 5).with_scrambled_ids(1600, 4);
+  check_defective(g, EdgeSubset::all(g), beta);
+}
+
+TEST_P(DefectiveTest, GuaranteesOnIrregularGraph) {
+  const int beta = GetParam();
+  const Graph g = make_power_law(80, 2.5, 20.0, 6).with_scrambled_ids(6400, 5);
+  check_defective(g, EdgeSubset::all(g), beta);
+}
+
+TEST_P(DefectiveTest, GuaranteesOnSubset) {
+  const int beta = GetParam();
+  const Graph g = make_gnp(50, 0.2, 7).with_scrambled_ids(2500, 6);
+  EdgeSubset H(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) H.insert(e);
+  check_defective(g, H, beta);
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, DefectiveTest, ::testing::Values(1, 2, 3, 5, 8, 50));
+
+TEST(Defective, LargeBetaGivesProperColoring) {
+  // When 4*beta >= deg everything lands in one group per node: defect 0,
+  // i.e. a proper edge coloring.
+  const Graph g = make_complete(10).with_scrambled_ids(100, 9);
+  const EdgeSubset all = EdgeSubset::all(g);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger ledger;
+  const DefectiveColoring dc =
+      defective_edge_coloring(g, all, 50, init.colors, init.palette, ledger);
+  EXPECT_EQ(max_defect(g, all, dc.cls), 0);
+}
+
+TEST(Defective, StarGraphDefectZeroWithModestBeta) {
+  // Star edges all share the hub; within the hub groups are size 4beta and
+  // numbering makes all pairs distinct -> defect bound ceil(n/4b)-1.
+  const Graph g = make_star(16).with_scrambled_ids(289, 2);
+  const EdgeSubset all = EdgeSubset::all(g);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger ledger;
+  const DefectiveColoring dc =
+      defective_edge_coloring(g, all, 4, init.colors, init.palette, ledger);
+  EXPECT_EQ(max_defect(g, all, dc.cls), 0);  // 16 edges fit one group of 16
+}
+
+TEST(Defective, PathCycleConflictStructureHolds) {
+  // Regression: the "same temp color in same group" graph must be degree<=2
+  // (asserted internally); exercise a dense graph to stress it.
+  const Graph g = make_complete(20).with_scrambled_ids(400, 8);
+  const EdgeSubset all = EdgeSubset::all(g);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger ledger;
+  EXPECT_NO_THROW(
+      defective_edge_coloring(g, all, 2, init.colors, init.palette, ledger));
+}
+
+TEST(Defective, RejectsBadBeta) {
+  const Graph g = make_cycle(4);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger ledger;
+  EXPECT_THROW(defective_edge_coloring(g, EdgeSubset::all(g), 0, init.colors,
+                                       init.palette, ledger),
+               std::invalid_argument);
+}
+
+TEST(Defective, DeterministicAcrossRuns) {
+  const Graph g = make_gnp(30, 0.3, 12).with_scrambled_ids(900, 13);
+  const EdgeSubset all = EdgeSubset::all(g);
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger l1, l2;
+  const auto a = defective_edge_coloring(g, all, 3, init.colors, init.palette, l1);
+  const auto b = defective_edge_coloring(g, all, 3, init.colors, init.palette, l2);
+  EXPECT_EQ(a.cls, b.cls);
+  EXPECT_EQ(l1.total(), l2.total());
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,252 @@
+#include "src/local/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+/// Every node floods the maximum id it has seen; terminates after exactly
+/// `horizon` rounds.  Used to check synchronous delivery and round counting.
+class MaxFlood final : public NodeProgram {
+ public:
+  explicit MaxFlood(int horizon, std::uint64_t* out) : horizon_(horizon), out_(out) {}
+
+  void init(NodeContext& ctx) override {
+    best_ = ctx.my_id();
+    ctx.broadcast(Message{{best_}});
+    if (horizon_ == 0) {
+      *out_ = best_;
+      ctx.finish();
+    }
+  }
+
+  void round(NodeContext& ctx) override {
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (const Message* m = ctx.received(p)) {
+        best_ = std::max(best_, m->words.at(0));
+      }
+    }
+    if (ctx.round() >= horizon_) {
+      *out_ = best_;
+      ctx.finish();
+      return;
+    }
+    ctx.broadcast(Message{{best_}});
+  }
+
+ private:
+  int horizon_;
+  std::uint64_t* out_;
+  std::uint64_t best_ = 0;
+};
+
+TEST(Engine, FloodLearnsMaxWithinDiameterRounds) {
+  const Graph g = make_path(10).with_scrambled_ids(100, 3);
+  std::uint64_t global_max = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) global_max = std::max(global_max, g.local_id(v));
+
+  std::vector<std::uint64_t> results(10, 0);
+  Engine engine(g);
+  const auto stats = engine.run(
+      [&](NodeId v) { return std::make_unique<MaxFlood>(9, &results[static_cast<std::size_t>(v)]); },
+      1000);
+  EXPECT_EQ(stats.rounds, 9);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(results[static_cast<std::size_t>(v)], global_max);
+}
+
+TEST(Engine, InformationRespectsLocality) {
+  // After k < diameter rounds, an endpoint of the path must NOT know the max
+  // at the other end (if the max sits there).
+  Graph g = make_path(10);  // ids 1..10; node 9 has id 10 (the max)
+  std::vector<std::uint64_t> results(10, 0);
+  Engine engine(g);
+  engine.run(
+      [&](NodeId v) { return std::make_unique<MaxFlood>(4, &results[static_cast<std::size_t>(v)]); },
+      1000);
+  EXPECT_LT(results[0], 10u);   // node 0 is 9 hops from the max
+  EXPECT_EQ(results[9], 10u);   // the max itself
+  EXPECT_EQ(results[5], 10u);   // 4 hops away: reachable
+  EXPECT_LT(results[4], 10u);   // 5 hops away: not reachable in 4 rounds
+}
+
+TEST(Engine, MessageStatsCounted) {
+  const Graph g = make_cycle(6);
+  std::vector<std::uint64_t> results(6, 0);
+  Engine engine(g);
+  const auto stats = engine.run(
+      [&](NodeId v) { return std::make_unique<MaxFlood>(2, &results[static_cast<std::size_t>(v)]); },
+      1000);
+  // init + round1 broadcasts: 2 sends per node per wave, 6 nodes, 2 waves.
+  EXPECT_EQ(stats.rounds, 2);
+  EXPECT_EQ(stats.messages, 6 * 2 * 2);
+  EXPECT_EQ(stats.words, stats.messages);  // one word each
+  EXPECT_EQ(stats.max_message_words, 1);
+}
+
+TEST(Engine, ThrowsOnNonTermination) {
+  class Forever final : public NodeProgram {
+   public:
+    void init(NodeContext&) override {}
+    void round(NodeContext&) override {}
+  };
+  const Graph g = make_cycle(3);
+  Engine engine(g);
+  EXPECT_THROW(engine.run([](NodeId) { return std::make_unique<Forever>(); }, 10),
+               InvariantViolation);
+}
+
+TEST(Engine, PortMapsAreConsistent) {
+  const Graph g = make_gnp(20, 0.25, 8);
+  Engine engine(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto inc = g.incident(v);
+    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
+      EXPECT_EQ(engine.port_neighbor(v, p), inc[static_cast<std::size_t>(p)].neighbor);
+      EXPECT_EQ(engine.port_edge(v, p), inc[static_cast<std::size_t>(p)].edge);
+    }
+  }
+}
+
+/// Distributed edge coloring by id-priority: an edge (identified by its
+/// endpoint id pair) colors itself once all lexicographically larger
+/// neighboring edges are colored, picking the smallest free color in
+/// {0..deg(e)}.  A genuine message-passing algorithm whose output must be a
+/// proper edge coloring — the engine-level cross-check for the
+/// conflict-view-based solvers.
+class PriorityEdgeColor final : public NodeProgram {
+ public:
+  struct Shared {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> colors;  // by id pair
+  };
+  explicit PriorityEdgeColor(Shared* shared) : shared_(shared) {}
+
+  void init(NodeContext& ctx) override {
+    // Learn neighbor ids.
+    ctx.broadcast(Message{{ctx.my_id()}});
+  }
+
+  void round(NodeContext& ctx) override {
+    if (ctx.round() == 1) {
+      nbr_ids_.resize(static_cast<std::size_t>(ctx.degree()));
+      for (int p = 0; p < ctx.degree(); ++p) {
+        nbr_ids_[static_cast<std::size_t>(p)] = ctx.received(p)->words.at(0);
+      }
+      edge_color_.assign(static_cast<std::size_t>(ctx.degree()), -1);
+      announce(ctx);
+      return;
+    }
+    // Each round: receive neighbors' per-edge color announcements; an edge
+    // {u,v} is decided by its lower-id endpoint when no conflicting
+    // higher-priority edge is pending.
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (const Message* m = ctx.received(p)) {
+        // Words: flattened (other_id, color) pairs of that neighbor's edges.
+        remote_.erase(nbr_ids_[static_cast<std::size_t>(p)]);
+        auto& store = remote_[nbr_ids_[static_cast<std::size_t>(p)]];
+        for (std::size_t i = 0; i + 1 < m->words.size(); i += 2) {
+          store.emplace_back(m->words[i], static_cast<int>(m->words[i + 1]) - 1);
+        }
+      }
+    }
+    // Decide edges where I am the smaller id and all my + the neighbor's
+    // higher-priority edges are colored.
+    bool progressed = false;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (edge_color_[static_cast<std::size_t>(p)] != -1) continue;
+      const std::uint64_t other = nbr_ids_[static_cast<std::size_t>(p)];
+      if (ctx.my_id() > other) continue;  // the other endpoint decides
+      const auto key = std::make_pair(std::min(ctx.my_id(), other), std::max(ctx.my_id(), other));
+      // Priority: edges with larger (min,max) pair go first.
+      bool blocked = false;
+      std::vector<int> used;
+      auto consider = [&](std::uint64_t a, std::uint64_t b, int color) {
+        const auto k2 = std::make_pair(std::min(a, b), std::max(a, b));
+        if (k2 == key) return;
+        if (color >= 0) {
+          used.push_back(color);
+        } else if (k2 > key) {
+          blocked = true;
+        }
+      };
+      for (int p2 = 0; p2 < ctx.degree(); ++p2) {
+        consider(ctx.my_id(), nbr_ids_[static_cast<std::size_t>(p2)],
+                 edge_color_[static_cast<std::size_t>(p2)]);
+      }
+      if (auto it = remote_.find(other); it != remote_.end()) {
+        for (const auto& [oid, col] : it->second) consider(other, oid, col);
+      }
+      if (blocked) continue;
+      std::sort(used.begin(), used.end());
+      int pick = 0;
+      for (int u : used) {
+        if (u == pick) ++pick;
+        else if (u > pick) break;
+      }
+      edge_color_[static_cast<std::size_t>(p)] = pick;
+      shared_->colors[key] = pick;
+      progressed = true;
+    }
+    // Adopt decisions made by lower-id endpoints.
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (edge_color_[static_cast<std::size_t>(p)] != -1) continue;
+      const std::uint64_t other = nbr_ids_[static_cast<std::size_t>(p)];
+      const auto key = std::make_pair(std::min(ctx.my_id(), other), std::max(ctx.my_id(), other));
+      if (auto it = shared_->colors.find(key); it != shared_->colors.end()) {
+        edge_color_[static_cast<std::size_t>(p)] = it->second;
+        progressed = true;
+      }
+    }
+    (void)progressed;
+    if (std::all_of(edge_color_.begin(), edge_color_.end(), [](int c) { return c >= 0; })) {
+      ctx.finish();
+      return;
+    }
+    announce(ctx);
+  }
+
+ private:
+  void announce(NodeContext& ctx) {
+    Message m;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      m.words.push_back(nbr_ids_[static_cast<std::size_t>(p)]);
+      m.words.push_back(static_cast<std::uint64_t>(edge_color_[static_cast<std::size_t>(p)] + 1));
+    }
+    ctx.broadcast(m);
+  }
+
+  Shared* shared_;
+  std::vector<std::uint64_t> nbr_ids_;
+  std::vector<int> edge_color_;
+  std::map<std::uint64_t, std::vector<std::pair<std::uint64_t, int>>> remote_;
+};
+
+TEST(Engine, DistributedPriorityEdgeColoringIsProper) {
+  const Graph g = make_gnp(24, 0.18, 31).with_scrambled_ids(24 * 24, 5);
+  PriorityEdgeColor::Shared shared;
+  Engine engine(g);
+  engine.run([&](NodeId) { return std::make_unique<PriorityEdgeColor>(&shared); },
+             100000);
+  ASSERT_EQ(shared.colors.size(), static_cast<std::size_t>(g.num_edges()));
+  // Validate: adjacent edges differ; colors within {0..deg(e)}.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ep = g.endpoints(e);
+    const auto key = std::make_pair(std::min(g.local_id(ep.u), g.local_id(ep.v)),
+                                    std::max(g.local_id(ep.u), g.local_id(ep.v)));
+    const int ce = shared.colors.at(key);
+    EXPECT_LE(ce, g.edge_degree(e));
+    for (EdgeId f : g.edge_neighbors(e)) {
+      const auto& fp = g.endpoints(f);
+      const auto fkey = std::make_pair(std::min(g.local_id(fp.u), g.local_id(fp.v)),
+                                       std::max(g.local_id(fp.u), g.local_id(fp.v)));
+      EXPECT_NE(ce, shared.colors.at(fkey)) << "edges " << e << "," << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qplec

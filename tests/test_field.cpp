@@ -1,0 +1,115 @@
+#include "src/common/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qplec {
+namespace {
+
+TEST(IsPrime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7*13
+}
+
+TEST(IsPrime, Carmichael) {
+  // Carmichael numbers fool Fermat but not Miller–Rabin with these bases.
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull}) {
+    EXPECT_FALSE(is_prime(c)) << c;
+  }
+}
+
+TEST(IsPrime, LargeKnown) {
+  EXPECT_TRUE(is_prime(2147483647ull));          // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(is_prime(1000000007ull));
+  EXPECT_TRUE(is_prime(1000000009ull));
+  EXPECT_FALSE(is_prime(1000000007ull * 3));
+  EXPECT_TRUE(is_prime((1ull << 61) - 1));       // Mersenne prime
+}
+
+TEST(IsPrime, SieveCrossCheck) {
+  // Cross-check against trial division up to 10000.
+  for (std::uint64_t x = 2; x <= 10000; ++x) {
+    bool composite = false;
+    for (std::uint64_t d = 2; d * d <= x; ++d) {
+      if (x % d == 0) {
+        composite = true;
+        break;
+      }
+    }
+    EXPECT_EQ(is_prime(x), !composite) << x;
+  }
+}
+
+TEST(NextPrime, Values) {
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(8), 11u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(997), 997u);
+  EXPECT_EQ(next_prime(998), 1009u);
+}
+
+TEST(GFPoly, FromIntegerRoundtrip) {
+  // Coefficients are base-q digits.
+  const GFPoly p = GFPoly::from_integer(123456, 97, 3);
+  std::uint64_t reconstructed = 0;
+  std::uint64_t pow = 1;
+  for (std::uint32_t c : p.coeffs()) {
+    reconstructed += c * pow;
+    pow *= 97;
+  }
+  EXPECT_EQ(reconstructed, 123456u);
+}
+
+TEST(GFPoly, FromIntegerRejectsOverflow) {
+  EXPECT_THROW(GFPoly::from_integer(1000, 7, 2), std::invalid_argument);  // 7^3=343
+}
+
+TEST(GFPoly, EvalMatchesHorner) {
+  const GFPoly p(std::vector<std::uint32_t>{3, 1, 4}, 7);  // 3 + x + 4x^2 mod 7
+  for (std::uint32_t x = 0; x < 7; ++x) {
+    EXPECT_EQ(p.eval(x), (3 + x + 4 * x * x) % 7);
+  }
+}
+
+TEST(GFPoly, DistinctIntegersGiveDistinctPolynomials) {
+  // The cover-free property rests on injectivity of from_integer.
+  std::set<std::vector<std::uint32_t>> seen;
+  for (std::uint64_t v = 0; v < 343; ++v) {
+    seen.insert(GFPoly::from_integer(v, 7, 2).coeffs());
+  }
+  EXPECT_EQ(seen.size(), 343u);
+}
+
+TEST(GFPoly, TwoDistinctPolysAgreeOnAtMostKPoints) {
+  // Degree-<=k polynomials over GF(q): p - p' has <= k roots.
+  const std::uint32_t q = 13;
+  const int k = 2;
+  for (std::uint64_t a = 0; a < 60; ++a) {
+    for (std::uint64_t b = a + 1; b < 60; ++b) {
+      const GFPoly pa = GFPoly::from_integer(a, q, k);
+      const GFPoly pb = GFPoly::from_integer(b, q, k);
+      int agreements = 0;
+      for (std::uint32_t x = 0; x < q; ++x) {
+        if (pa.eval(x) == pb.eval(x)) ++agreements;
+      }
+      EXPECT_LE(agreements, k);
+    }
+  }
+}
+
+TEST(GFPoly, RejectsBadConstruction) {
+  EXPECT_THROW(GFPoly(std::vector<std::uint32_t>{7}, 7), std::invalid_argument);
+  EXPECT_THROW(GFPoly(std::vector<std::uint32_t>{}, 7), std::invalid_argument);
+  EXPECT_THROW(GFPoly(std::vector<std::uint32_t>{1}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,189 @@
+#include "src/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+namespace qplec {
+namespace {
+
+/// Union-find connectivity check.
+bool connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  std::vector<int> parent(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ep = g.endpoints(e);
+    parent[static_cast<std::size_t>(find(ep.u))] = find(ep.v);
+  }
+  const int root = find(0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (find(v) != root) return false;
+  }
+  return true;
+}
+
+TEST(Generators, Path) {
+  const Graph g = make_path(10);
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_EQ(g.num_edges(), 9);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(9), 1);
+  EXPECT_TRUE(connected(g));
+  EXPECT_EQ(make_path(1).num_edges(), 0);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(7);
+  EXPECT_EQ(g.num_edges(), 7);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(connected(g));
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(12);
+  EXPECT_EQ(g.num_nodes(), 13);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_EQ(g.degree(0), 12);
+  EXPECT_EQ(g.max_edge_degree(), 11);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(9);
+  EXPECT_EQ(g.num_edges(), 36);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 8);
+  EXPECT_EQ(g.max_edge_degree(), 14);  // 2*8 - 2
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 5);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 5);
+  for (NodeId v = 3; v < 8; ++v) EXPECT_EQ(g.degree(v), 3);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(4, 6);
+  EXPECT_EQ(g.num_nodes(), 24);
+  EXPECT_EQ(g.num_edges(), 4 * 5 + 6 * 3);  // rows*(cols-1) + cols*(rows-1)
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_EQ(g.num_edges(), 40);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(5);
+  EXPECT_EQ(g.num_nodes(), 32);
+  EXPECT_EQ(g.num_edges(), 5 * 16);
+  for (NodeId v = 0; v < 32; ++v) EXPECT_EQ(g.degree(v), 5);
+  EXPECT_TRUE(connected(g));
+  EXPECT_EQ(make_hypercube(0).num_nodes(), 1);
+}
+
+TEST(Generators, RandomTree) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = make_random_tree(40, seed);
+    EXPECT_EQ(g.num_nodes(), 40);
+    EXPECT_EQ(g.num_edges(), 39);
+    EXPECT_TRUE(connected(g));
+  }
+  EXPECT_EQ(make_random_tree(2, 9).num_edges(), 1);
+  EXPECT_EQ(make_random_tree(1, 9).num_edges(), 0);
+}
+
+TEST(Generators, GnpEdgeCountPlausible) {
+  const int n = 100;
+  const double p = 0.1;
+  const Graph g = make_gnp(n, p, 13);
+  const double expected = p * n * (n - 1) / 2;
+  EXPECT_GT(g.num_edges(), expected * 0.7);
+  EXPECT_LT(g.num_edges(), expected * 1.3);
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(make_gnp(20, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(make_gnp(20, 1.0, 1).num_edges(), 190);
+}
+
+TEST(Generators, GnpDensePathMatchesSparsePathStatistically) {
+  // Both code paths (geometric skipping vs direct) should give similar counts.
+  const Graph sparse = make_gnp(200, 0.2, 55);   // sparse path
+  const Graph dense = make_gnp(200, 0.3, 55);    // dense path
+  EXPECT_GT(dense.num_edges(), sparse.num_edges());
+}
+
+TEST(Generators, RandomRegularExactDegrees) {
+  for (const auto& [n, d] : std::vector<std::pair<int, int>>{
+           {10, 3}, {64, 8}, {40, 13}, {30, 29}, {100, 2}, {16, 15}}) {
+    const Graph g = make_random_regular(n, d, 77);
+    ASSERT_EQ(g.num_nodes(), n) << n << " " << d;
+    ASSERT_EQ(g.num_edges(), n * d / 2);
+    for (NodeId v = 0; v < n; ++v) ASSERT_EQ(g.degree(v), d) << n << " " << d;
+  }
+}
+
+TEST(Generators, RandomRegularRandomizes) {
+  // Different seeds should give different graphs (statistically certain).
+  const Graph a = make_random_regular(50, 4, 1);
+  const Graph b = make_random_regular(50, 4, 2);
+  bool differ = a.num_edges() != b.num_edges();
+  for (EdgeId e = 0; !differ && e < a.num_edges(); ++e) {
+    differ = !(a.endpoints(e) == b.endpoints(e));
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(make_random_regular(5, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, PowerLawDegreesBoundedAndSkewed) {
+  const Graph g = make_power_law(300, 2.5, 30.0, 21);
+  EXPECT_EQ(g.num_nodes(), 300);
+  EXPECT_GT(g.num_edges(), 0);
+  // Max degree concentrated near the largest-weight nodes.
+  int max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_LE(max_deg, 90);  // ~3x the expected max; loose sanity bound
+}
+
+TEST(Generators, RandomBipartiteRegular) {
+  const Graph g = make_random_bipartite_regular(10, 20, 6, 3);
+  EXPECT_EQ(g.num_nodes(), 30);
+  EXPECT_EQ(g.num_edges(), 60);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 6);
+  // Right side: total degree 60 spread over 20 nodes.
+  int right_total = 0;
+  for (NodeId v = 10; v < 30; ++v) right_total += g.degree(v);
+  EXPECT_EQ(right_total, 60);
+}
+
+TEST(Generators, DeterministicBySeed) {
+  const Graph a = make_gnp(60, 0.15, 42);
+  const Graph b = make_gnp(60, 0.15, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) EXPECT_EQ(a.endpoints(e), b.endpoints(e));
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,90 @@
+#include "src/coloring/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/initial.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(GreedyByClasses, ColorsRespectListsAndConflicts) {
+  const Graph g = make_gnp(30, 0.2, 21).with_scrambled_ids(900, 1);
+  const EdgeSubset all = EdgeSubset::all(g);
+  const LineGraphConflict view(g, all);
+  // phi: a valid proper coloring — use edge ids of a greedy pass.
+  const auto inst = make_two_delta_instance(make_gnp(30, 0.2, 21));
+  const EdgeColoring ground = greedy_centralized(inst);
+  std::vector<std::uint64_t> phi(ground.begin(), ground.end());
+  const std::uint64_t palette = 2 * 30;
+
+  std::vector<Color> out(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  RoundLedger ledger;
+  greedy_by_classes(view, inst.lists, phi, palette, out, ledger);
+  EXPECT_TRUE(is_valid_list_coloring(inst, out));
+  EXPECT_EQ(ledger.total(), static_cast<std::int64_t>(palette));
+}
+
+TEST(GreedyByClasses, ThrowsOnInfeasibleLists) {
+  const Graph g = make_star(3);
+  const LineGraphConflict view(g, EdgeSubset::all(g));
+  std::vector<ColorList> lists(3, ColorList::range(0, 2));  // deg=2 needs 3
+  std::vector<std::uint64_t> phi{0, 1, 2};
+  std::vector<Color> out(3, kUncolored);
+  RoundLedger ledger;
+  EXPECT_THROW(greedy_by_classes(view, lists, phi, 3, out, ledger),
+               std::invalid_argument);
+}
+
+TEST(GreedyByClasses, ThrowsOnImproperPhi) {
+  const Graph g = make_star(3);
+  const LineGraphConflict view(g, EdgeSubset::all(g));
+  std::vector<ColorList> lists(3, ColorList::range(0, 3));
+  std::vector<std::uint64_t> phi{0, 0, 2};
+  std::vector<Color> out(3, kUncolored);
+  RoundLedger ledger;
+  EXPECT_THROW(greedy_by_classes(view, lists, phi, 3, out, ledger), InvariantViolation);
+}
+
+TEST(GreedyCentralized, ValidOnFamilies) {
+  for (const auto& g :
+       {make_complete(8), make_cycle(9), make_star(7), make_hypercube(4)}) {
+    const auto inst = make_two_delta_instance(g);
+    const EdgeColoring colors = greedy_centralized(inst);
+    EXPECT_TRUE(is_valid_list_coloring(inst, colors));
+  }
+}
+
+TEST(GreedyCentralized, WorksOnTightLists) {
+  const auto inst = make_random_list_instance(make_gnp(40, 0.15, 33), 120, 8);
+  const EdgeColoring colors = greedy_centralized(inst);
+  EXPECT_TRUE(is_valid_list_coloring(inst, colors));
+}
+
+TEST(SolveConflictList, EndToEndOnSubset) {
+  const Graph g = make_gnp(35, 0.2, 41).with_scrambled_ids(35 * 35, 4);
+  EdgeSubset sub(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); e += 3) sub.insert(e);
+  const LineGraphConflict view(g, sub);
+  const int d = sub.max_induced_edge_degree(g);
+  std::vector<ColorList> lists(static_cast<std::size_t>(g.num_edges()));
+  sub.for_each([&](EdgeId e) {
+    lists[static_cast<std::size_t>(e)] =
+        ColorList::range(0, sub.induced_edge_degree(g, e) + 1);
+  });
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  std::vector<Color> out(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  RoundLedger ledger;
+  const auto res = solve_conflict_list(view, lists, init.colors, init.palette, d, out, ledger);
+  EXPECT_TRUE(is_proper_on_conflict(view, out));
+  sub.for_each([&](EdgeId e) {
+    EXPECT_NE(out[static_cast<std::size_t>(e)], kUncolored);
+    EXPECT_TRUE(lists[static_cast<std::size_t>(e)].contains(out[static_cast<std::size_t>(e)]));
+  });
+  // Rounds = Linial iterations + one sweep of the reduced palette.
+  EXPECT_EQ(ledger.total(), res.linial_rounds + static_cast<std::int64_t>(res.sweep_palette));
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,166 @@
+// Cross-cutting integration tests: algorithm agreement, failure injection
+// (corrupted inputs must trip the theorem-assertions, not degrade silently),
+// stress sweeps, and the engine-vs-framework cross-check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/coloring/baselines.hpp"
+#include "src/coloring/greedy.hpp"
+#include "src/coloring/initial.hpp"
+#include "src/coloring/linial.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(Integration, AllSolversAgreeOnFeasibilityAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = make_gnp(48, 0.15, seed).with_scrambled_ids(48 * 48, seed + 1);
+    if (g.num_edges() == 0) continue;
+    const auto inst = make_random_list_instance(g, 2 * g.max_edge_degree() + 2, seed + 2);
+    const auto bko = Solver(Policy::practical()).solve(inst);
+    RoundLedger l1, l2;
+    const auto greedy = baseline_greedy_by_class(inst, l1);
+    const auto luby = baseline_luby(inst, seed, l2);
+    EXPECT_TRUE(is_valid_list_coloring(inst, bko.colors)) << seed;
+    EXPECT_TRUE(is_valid_list_coloring(inst, greedy.colors)) << seed;
+    EXPECT_TRUE(is_valid_list_coloring(inst, luby.colors)) << seed;
+  }
+}
+
+TEST(Integration, ColorsUsedNeverExceedPalette) {
+  // The solver may use any list color, but the standard instance's palette
+  // 2*Delta-1 caps the count; greedy centralized gives the reference.
+  const Graph g = make_random_regular(80, 10, 3).with_scrambled_ids(6400, 4);
+  const auto inst = make_two_delta_instance(g);
+  const auto res = Solver().solve(inst);
+  const Color max_color = *std::max_element(res.colors.begin(), res.colors.end());
+  EXPECT_LT(max_color, inst.palette_size);
+}
+
+TEST(Integration, CorruptedPhiTripsAssertions) {
+  // Failure injection: feeding an improper "proper" coloring into the greedy
+  // sweep must abort loudly.
+  const Graph g = make_star(4).with_scrambled_ids(16, 1);
+  const LineGraphConflict view(g, EdgeSubset::all(g));
+  std::vector<std::uint64_t> bad_phi(4, 7);  // all equal: maximally improper
+  std::vector<ColorList> lists(4, ColorList::range(0, 4));
+  std::vector<Color> out(4, kUncolored);
+  RoundLedger ledger;
+  EXPECT_THROW(greedy_by_classes(view, lists, bad_phi, 8, out, ledger),
+               InvariantViolation);
+}
+
+TEST(Integration, CorruptedInitialColoringTripsLinial) {
+  const Graph g = make_path(4);
+  const LineGraphConflict view(g, EdgeSubset::all(g));
+  std::vector<std::uint64_t> bad(3, 42);
+  EXPECT_THROW(linial_step(view, bad, LinialParams{13, 1}), InvariantViolation);
+}
+
+TEST(Integration, TamperedListsRejectedBeforeSolving) {
+  auto inst = make_two_delta_instance(make_cycle(6));
+  inst.lists[3] = ColorList(std::vector<Color>{});  // empty list
+  EXPECT_THROW(Solver().solve(inst), std::invalid_argument);
+}
+
+TEST(Integration, StressSweepManySmallInstances) {
+  // 60 instances across families and seeds; every one must validate.
+  int solved = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (int family = 0; family < 3; ++family) {
+      Graph g;
+      switch (family) {
+        case 0:
+          g = make_gnp(24, 0.25, seed);
+          break;
+        case 1:
+          g = make_random_tree(30, seed);
+          break;
+        default:
+          g = make_power_law(30, 2.6, 8.0, seed);
+      }
+      if (g.num_edges() == 0) continue;
+      g = g.with_scrambled_ids(30 * 30, seed + 99);
+      const auto inst = make_two_delta_instance(g);
+      const auto res = Solver(Policy::practical()).solve(inst);
+      ASSERT_TRUE(is_valid_list_coloring(inst, res.colors))
+          << "family " << family << " seed " << seed;
+      ++solved;
+    }
+  }
+  EXPECT_GE(solved, 55);
+}
+
+TEST(Integration, MetricsConsistentWithColoring) {
+  // Colors used by centralized greedy <= max_edge_degree + 1 (its guarantee)
+  // and >= Delta (every edge coloring needs Delta at a max-degree node).
+  const Graph g = make_gnp(50, 0.2, 9);
+  const auto inst = make_two_delta_instance(g);
+  const auto colors = greedy_centralized(inst);
+  std::vector<Color> sorted(colors);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_GE(static_cast<int>(sorted.size()), g.max_degree());
+  EXPECT_LE(static_cast<int>(sorted.size()), g.max_edge_degree() + 1);
+}
+
+TEST(Integration, DiameterIndependence) {
+  // The solver's rounds must not scale with diameter (locality!): a long
+  // cycle and a short one at the same Delta cost the same rounds.
+  const Graph small = make_cycle(32).with_scrambled_ids(1 << 14, 5);
+  const Graph large = make_cycle(4096).with_scrambled_ids(1 << 14, 5);
+  ASSERT_LT(diameter(small), diameter(large));
+  const auto rs = Solver().solve(make_two_delta_instance(small));
+  const auto rl = Solver().solve(make_two_delta_instance(large));
+  EXPECT_EQ(rs.rounds, rl.rounds);
+}
+
+TEST(Integration, RelaxedAndNoSlackEntriesAgree) {
+  // A slack-S instance is in particular a (deg+1)-list instance: both entry
+  // points must solve it (colors may differ; both valid).
+  const Graph g = make_random_regular(32, 6, 13).with_scrambled_ids(1024, 14);
+  const auto inst = make_slack_instance(g, 60.0, 4096, 15);
+  const Solver solver(Policy::practical());
+  const auto via_relaxed = solver.solve_relaxed(inst, 60.0);
+  const auto via_plain = solver.solve(inst);
+  EXPECT_TRUE(is_valid_list_coloring(inst, via_relaxed.colors));
+  EXPECT_TRUE(is_valid_list_coloring(inst, via_plain.colors));
+}
+
+TEST(Integration, LedgerParallelismNeverInflatesRounds) {
+  // effective <= raw on every solve, with equality only when no parallel
+  // scopes fired.
+  const Graph g = make_random_regular(64, 12, 17).with_scrambled_ids(4096, 18);
+  const auto inst = make_two_delta_instance(g);
+  const auto res = Solver().solve(inst);
+  EXPECT_LE(res.rounds, res.raw_rounds);
+}
+
+TEST(Integration, PaperPolicyMatchesPracticalOnValidity) {
+  Policy paper = Policy::paper(1.0, 1);
+  paper.beta_cap = 32;
+  const Graph g = make_gnp(30, 0.2, 23).with_scrambled_ids(900, 24);
+  const auto inst = make_two_delta_instance(g);
+  const auto a = Solver(paper).solve(inst);
+  const auto b = Solver(Policy::practical()).solve(inst);
+  EXPECT_TRUE(is_valid_list_coloring(inst, a.colors));
+  EXPECT_TRUE(is_valid_list_coloring(inst, b.colors));
+}
+
+TEST(Integration, HugeIdSpaceOnlyCostsLogStar) {
+  const Graph small_ids = make_random_regular(64, 6, 25).with_scrambled_ids(64, 26);
+  const Graph huge_ids =
+      make_random_regular(64, 6, 25).with_scrambled_ids(1ull << 30, 26);
+  const auto rs = Solver().solve(make_two_delta_instance(small_ids));
+  const auto rh = Solver().solve(make_two_delta_instance(huge_ids));
+  // 2^30-sized ids may cost a couple of extra Linial iterations, no more.
+  EXPECT_LE(rh.rounds, rs.rounds + 10);
+}
+
+}  // namespace
+}  // namespace qplec

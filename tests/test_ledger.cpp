@@ -1,0 +1,147 @@
+#include "src/local/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qplec {
+namespace {
+
+TEST(RoundLedger, SimpleCharges) {
+  RoundLedger ledger;
+  ledger.charge(3, "a");
+  ledger.charge(2, "b");
+  EXPECT_EQ(ledger.total(), 5);
+  EXPECT_EQ(ledger.raw_total(), 5);
+}
+
+TEST(RoundLedger, RejectsNegative) {
+  RoundLedger ledger;
+  EXPECT_THROW(ledger.charge(-1, "x"), std::invalid_argument);
+  EXPECT_NO_THROW(ledger.charge(0, "x"));
+}
+
+TEST(RoundLedger, SequentialScopesSum) {
+  RoundLedger ledger;
+  {
+    auto s1 = ledger.sequential("phase1");
+    ledger.charge(4, "w");
+  }
+  {
+    auto s2 = ledger.sequential("phase2");
+    ledger.charge(6, "w");
+  }
+  EXPECT_EQ(ledger.total(), 10);
+}
+
+TEST(RoundLedger, ParallelScopeTakesMax) {
+  RoundLedger ledger;
+  {
+    auto par = ledger.parallel("instances");
+    {
+      auto b1 = ledger.sequential("i1");
+      ledger.charge(7, "w");
+    }
+    {
+      auto b2 = ledger.sequential("i2");
+      ledger.charge(3, "w");
+    }
+  }
+  EXPECT_EQ(ledger.total(), 7);
+  EXPECT_EQ(ledger.raw_total(), 10);
+}
+
+TEST(RoundLedger, ChargesInsideParallelScopeAddToMax) {
+  RoundLedger ledger;
+  {
+    auto par = ledger.parallel("p");
+    ledger.charge(2, "setup");  // outside any branch
+    {
+      auto b = ledger.sequential("b");
+      ledger.charge(5, "w");
+    }
+  }
+  EXPECT_EQ(ledger.total(), 7);
+}
+
+TEST(RoundLedger, NestedParallelism) {
+  RoundLedger ledger;
+  {
+    auto par = ledger.parallel("outer");
+    {
+      auto b1 = ledger.sequential("b1");
+      ledger.charge(1, "w");
+      {
+        auto inner = ledger.parallel("inner");
+        {
+          auto c1 = ledger.sequential("c1");
+          ledger.charge(10, "w");
+        }
+        {
+          auto c2 = ledger.sequential("c2");
+          ledger.charge(20, "w");
+        }
+      }
+    }
+    {
+      auto b2 = ledger.sequential("b2");
+      ledger.charge(15, "w");
+    }
+  }
+  // b1 = 1 + max(10,20) = 21; b2 = 15; outer = max(21,15) = 21.
+  EXPECT_EQ(ledger.total(), 21);
+  EXPECT_EQ(ledger.raw_total(), 46);
+}
+
+TEST(RoundLedger, TotalNeverExceedsRaw) {
+  RoundLedger ledger;
+  {
+    auto par = ledger.parallel("p");
+    for (int i = 0; i < 5; ++i) {
+      auto b = ledger.sequential("b");
+      ledger.charge(i + 1, "w");
+    }
+  }
+  EXPECT_LE(ledger.total(), ledger.raw_total());
+  EXPECT_EQ(ledger.total(), 5);
+}
+
+TEST(RoundLedger, PhaseBreakdownAccumulates) {
+  RoundLedger ledger;
+  ledger.charge(1, "linial");
+  {
+    auto s = ledger.sequential("x");
+    ledger.charge(4, "linial");
+    ledger.charge(2, "sweep");
+  }
+  const auto phases = ledger.phase_breakdown();
+  EXPECT_EQ(phases.at("linial"), 5);
+  EXPECT_EQ(phases.at("sweep"), 2);
+}
+
+TEST(RoundLedger, ReportContainsScopeNames) {
+  RoundLedger ledger;
+  {
+    auto s = ledger.sequential("defective-class");
+    ledger.charge(2, "w");
+  }
+  const std::string report = ledger.report(3);
+  EXPECT_NE(report.find("defective-class"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(RoundLedger, MoveOnlyScopeClosesOnce) {
+  RoundLedger ledger;
+  {
+    auto s1 = ledger.sequential("a");
+    auto s2 = std::move(s1);
+    ledger.charge(1, "w");
+  }
+  // Another scope at top level still works — stack is balanced.
+  {
+    auto s3 = ledger.sequential("b");
+    ledger.charge(1, "w");
+  }
+  EXPECT_EQ(ledger.total(), 2);
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,149 @@
+#include "src/core/lemma44.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/common/math.hpp"
+#include "src/common/rng.hpp"
+
+namespace qplec {
+namespace {
+
+/// Brute-force smallest witness k (the proof's construction).
+int brute_force_k(std::vector<int> sizes, int list_size) {
+  std::sort(sizes.begin(), sizes.end(), std::greater<int>());
+  const double hq = harmonic(sizes.size());
+  for (int k = 1; k <= static_cast<int>(sizes.size()); ++k) {
+    if (sizes[static_cast<std::size_t>(k - 1)] >=
+        static_cast<double>(list_size) / (k * hq) - 1e-9) {
+      return k;
+    }
+  }
+  return -1;
+}
+
+TEST(Lemma44, PaperFigure5Example) {
+  // C = 20, p = 4, |Le| = 7 with intersections |C1∩L|=3, |C2∩L|=2, |C3∩L|=1,
+  // |C4∩L|=1 (the list {1,2,5,6,7,12,17} of Figure 5, parts of size 5).
+  const std::vector<int> sizes{3, 2, 1, 1};
+  const LevelResult r = compute_level(sizes, 7);
+  // H4 = 25/12; 7/(1*H4) = 3.36 > 3, 7/(2*H4) = 1.68 <= 2 -> k = 2.
+  EXPECT_EQ(r.k, 2);
+  EXPECT_EQ(r.level, 1);
+}
+
+TEST(Lemma44, SingleConcentratedPart) {
+  const LevelResult r = compute_level({10, 0, 0, 0}, 10);
+  EXPECT_EQ(r.k, 1);
+  EXPECT_EQ(r.level, 0);
+}
+
+TEST(Lemma44, PerfectlyUniform) {
+  // q parts each with |L|/q: smallest k with |L|/q >= |L|/(k Hq) is
+  // k = ceil(q/Hq).
+  const int q = 16;
+  std::vector<int> sizes(q, 4);
+  const LevelResult r = compute_level(sizes, 64);
+  const int expected = static_cast<int>(std::ceil(q / harmonic(q) - 1e-9));
+  EXPECT_EQ(r.k, expected);
+}
+
+TEST(Lemma44, WitnessGuaranteeHolds) {
+  // The k returned really has k parts above the threshold.
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int q = 2 + static_cast<int>(rng.next_below(30));
+    std::vector<int> sizes(static_cast<std::size_t>(q));
+    int total = 0;
+    for (auto& s : sizes) {
+      s = static_cast<int>(rng.next_below(50));
+      total += s;
+    }
+    if (total == 0) {
+      sizes[0] = 1;
+      total = 1;
+    }
+    const LevelResult r = compute_level(sizes, total);
+    ASSERT_GE(r.k, 1);
+    std::vector<int> sorted = sizes;
+    std::sort(sorted.begin(), sorted.end(), std::greater<int>());
+    const double hq = harmonic(static_cast<std::uint64_t>(q));
+    int count = 0;
+    for (int s : sorted) {
+      if (static_cast<double>(s) >=
+          static_cast<double>(total) / (r.k * hq) - 1e-9) {
+        ++count;
+      }
+    }
+    EXPECT_GE(count, r.k);
+    // And the level form: at least 2^level parts above |L|/(2^(level+1) Hq).
+    int count_level = 0;
+    for (int s : sorted) {
+      if (static_cast<double>(s) >= r.threshold - 1e-9) ++count_level;
+    }
+    EXPECT_GE(count_level, 1 << r.level);
+    EXPECT_EQ(r.k, brute_force_k(sizes, total));
+  }
+}
+
+TEST(Lemma44, AdversarialGeometricDecay) {
+  // sizes ~ L/2, L/4, L/8 ... the regime where the harmonic bound is tight.
+  std::vector<int> sizes;
+  int total = 0;
+  for (int i = 0; i < 10; ++i) {
+    sizes.push_back(1 << (9 - i));
+    total += sizes.back();
+  }
+  const LevelResult r = compute_level(sizes, total);
+  EXPECT_EQ(r.k, brute_force_k(sizes, total));
+  EXPECT_GE(r.k, 1);
+}
+
+TEST(Lemma44, LevelIsFloorLog2OfWitness) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int q = 2 + static_cast<int>(rng.next_below(60));
+    std::vector<int> sizes(static_cast<std::size_t>(q));
+    int total = 0;
+    for (auto& s : sizes) {
+      s = static_cast<int>(rng.next_below(20));
+      total += s;
+    }
+    if (total == 0) {
+      sizes[0] = 3;
+      total = 3;
+    }
+    const LevelResult r = compute_level(sizes, total);
+    EXPECT_EQ(r.level, floor_log2(static_cast<std::uint64_t>(r.k)));
+  }
+}
+
+TEST(Lemma44, RejectsBadInput) {
+  EXPECT_THROW(compute_level({}, 5), std::invalid_argument);
+  EXPECT_THROW(compute_level({1, 2}, 0), std::invalid_argument);
+}
+
+TEST(Lemma44, IntersectionSizes) {
+  const ColorList list({2, 5, 7, 9, 14, 19});
+  const PalettePartition part = PalettePartition::uniform(20, 4);  // parts of 5
+  const auto sizes = intersection_sizes(list, 0, part);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 1);  // {2}
+  EXPECT_EQ(sizes[1], 3);  // {5,7,9}
+  EXPECT_EQ(sizes[2], 1);  // {14}
+  EXPECT_EQ(sizes[3], 1);  // {19}
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), list.size());
+}
+
+TEST(Lemma44, IntersectionSizesWithOffset) {
+  const ColorList list({102, 105, 109});
+  const PalettePartition part = PalettePartition::uniform(10, 2);  // [0,5),[5,10)
+  const auto sizes = intersection_sizes(list, 100, part);
+  EXPECT_EQ(sizes[0], 1);  // 102 - 100 = 2 lands in [0,5)
+  EXPECT_EQ(sizes[1], 2);  // 105, 109 land in [5,10)
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,148 @@
+#include "src/common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace qplec {
+namespace {
+
+TEST(FloorLog2, KnownValues) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(std::numeric_limits<std::uint64_t>::max()), 63);
+}
+
+TEST(FloorLog2, RejectsZero) { EXPECT_THROW(floor_log2(0), std::invalid_argument); }
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1u << 20), 20);
+  EXPECT_EQ(ceil_log2((1u << 20) + 1), 21);
+}
+
+TEST(CeilLog2, InverseOfPow) {
+  for (int e = 0; e < 40; ++e) {
+    EXPECT_EQ(ceil_log2(std::uint64_t{1} << e), e);
+  }
+}
+
+TEST(LogStar, KnownLadder) {
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(65536), 4);
+  EXPECT_EQ(log_star(65537), 5);
+  EXPECT_EQ(log_star(std::numeric_limits<std::uint64_t>::max()), 5);
+}
+
+TEST(LogStar, MonotoneNondecreasing) {
+  int prev = 0;
+  for (std::uint64_t x = 1; x < 100000; x += 97) {
+    const int cur = log_star(x);
+    EXPECT_GE(cur, prev >= 0 ? 0 : prev);
+    EXPECT_LE(cur, 5);
+  }
+}
+
+TEST(LogStarPow, MatchesDirectWhenRepresentable) {
+  EXPECT_EQ(log_star_pow(2, 16), log_star(65536));
+  EXPECT_EQ(log_star_pow(10, 3), log_star(1000));
+  EXPECT_EQ(log_star_pow(7, 0), 0);
+  EXPECT_EQ(log_star_pow(1, 100), 0);
+}
+
+TEST(LogStarPow, HugeExponentsStaySmall) {
+  // log*(2^(2^20)) = 1 + log*(2^20) = 1 + 1 + log*(20) = ...
+  EXPECT_LE(log_star_pow(2, 1 << 20), 6);
+}
+
+TEST(Harmonic, SmallValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(Harmonic, AsymptoticApproximation) {
+  // H_p ~ ln p + gamma.
+  EXPECT_NEAR(harmonic(1000000), std::log(1e6) + 0.5772156649, 1e-5);
+}
+
+TEST(Harmonic, LargeArgumentContinuity) {
+  // The exact/approximate switchover at 2^20 must not jump.
+  const double below = harmonic((1u << 20));
+  const double above = harmonic((1u << 20) + 1);
+  EXPECT_NEAR(above - below, 1.0 / ((1u << 20) + 1), 1e-9);
+}
+
+TEST(CeilDiv, Values) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+  EXPECT_EQ(ceil_div(-3, 5), 0);
+  EXPECT_THROW(ceil_div(1, 0), std::invalid_argument);
+}
+
+TEST(SaturatingPow, Values) {
+  EXPECT_EQ(saturating_pow(2, 10), 1024u);
+  EXPECT_EQ(saturating_pow(2, 63), std::uint64_t{1} << 63);
+  EXPECT_EQ(saturating_pow(2, 64), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(saturating_pow(10, 30), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(saturating_pow(7, 0), 1u);
+  EXPECT_EQ(saturating_pow(0, 5), 0u);
+}
+
+TEST(SaturatingMul, Values) {
+  EXPECT_EQ(saturating_mul(3, 7), 21u);
+  EXPECT_EQ(saturating_mul(0, std::numeric_limits<std::uint64_t>::max()), 0u);
+  EXPECT_EQ(saturating_mul(std::uint64_t{1} << 32, std::uint64_t{1} << 32),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Isqrt, ExactSquaresAndNeighbors) {
+  for (std::uint64_t r = 0; r < 2000; ++r) {
+    EXPECT_EQ(isqrt(r * r), r);
+    if (r >= 1) {
+      EXPECT_EQ(isqrt(r * r + 1), r);
+    }
+    if (r >= 2) {
+      EXPECT_EQ(isqrt(r * r - 1), r - 1);
+    }
+  }
+}
+
+TEST(Isqrt, LargeValues) {
+  EXPECT_EQ(isqrt(std::numeric_limits<std::uint64_t>::max()), 0xFFFFFFFFull);
+  const std::uint64_t r = 3037000499ull;  // floor(sqrt(2^63))
+  EXPECT_EQ(isqrt(r * r), r);
+}
+
+TEST(NthRootCeil, Properties) {
+  for (std::uint64_t x : {2ull, 10ull, 100ull, 12345ull, 1ull << 40}) {
+    for (int r = 1; r <= 8; ++r) {
+      const std::uint64_t y = nth_root_ceil(x, r);
+      EXPECT_GE(saturating_pow(y, static_cast<unsigned>(r)), x) << x << " " << r;
+      if (y > 1) {
+        EXPECT_LT(saturating_pow(y - 1, static_cast<unsigned>(r)), x) << x << " " << r;
+      }
+    }
+  }
+  EXPECT_EQ(nth_root_ceil(1, 5), 1u);
+  EXPECT_EQ(nth_root_ceil(8, 3), 2u);
+  EXPECT_EQ(nth_root_ceil(9, 3), 3u);
+}
+
+}  // namespace
+}  // namespace qplec

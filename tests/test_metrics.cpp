@@ -1,0 +1,75 @@
+#include "src/graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/builder.hpp"
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(Metrics, ComponentsAndConnectivity) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);  // node 5, 6 isolated
+  const Graph g = b.build();
+  EXPECT_EQ(num_connected_components(g), 4);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(make_cycle(5)));
+  EXPECT_TRUE(is_connected(GraphBuilder(1).build()));
+  EXPECT_TRUE(is_connected(GraphBuilder(0).build()));
+}
+
+TEST(Metrics, DiameterKnownValues) {
+  EXPECT_EQ(diameter(make_path(10)), 9);
+  EXPECT_EQ(diameter(make_cycle(10)), 5);
+  EXPECT_EQ(diameter(make_cycle(11)), 5);
+  EXPECT_EQ(diameter(make_complete(6)), 1);
+  EXPECT_EQ(diameter(make_star(8)), 2);
+  EXPECT_EQ(diameter(make_hypercube(6)), 6);
+  EXPECT_EQ(diameter(make_grid(3, 7)), 2 + 6);
+}
+
+TEST(Metrics, EccentricityEndpoints) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(eccentricity(g, 0), 5);
+  EXPECT_EQ(eccentricity(g, 2), 3);
+  EXPECT_EQ(eccentricity(g, 5), 5);
+}
+
+TEST(Metrics, DegeneracyKnownValues) {
+  EXPECT_EQ(degeneracy(make_complete(7)), 6);
+  EXPECT_EQ(degeneracy(make_cycle(9)), 2);
+  EXPECT_EQ(degeneracy(make_path(9)), 1);
+  EXPECT_EQ(degeneracy(make_star(20)), 1);
+  EXPECT_EQ(degeneracy(make_random_tree(50, 3)), 1);
+  EXPECT_EQ(degeneracy(make_grid(5, 5)), 2);
+  EXPECT_EQ(degeneracy(make_complete_bipartite(4, 9)), 4);
+}
+
+TEST(Metrics, DegeneracyBounds) {
+  const Graph g = make_gnp(60, 0.1, 7);
+  const int d = degeneracy(g);
+  EXPECT_LE(d, g.max_degree());
+  // m <= degeneracy * n always.
+  EXPECT_LE(g.num_edges(), d * g.num_nodes());
+}
+
+TEST(Metrics, DegreeHistogram) {
+  const Graph g = make_star(5);
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 6u);
+  EXPECT_EQ(hist[1], 5);  // leaves
+  EXPECT_EQ(hist[5], 1);  // hub
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), 0), g.num_nodes());
+}
+
+TEST(Metrics, RegularHistogramIsSingleSpike) {
+  const Graph g = make_random_regular(40, 6, 5);
+  const auto hist = degree_histogram(g);
+  EXPECT_EQ(hist[6], 40);
+}
+
+}  // namespace
+}  // namespace qplec

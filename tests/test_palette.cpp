@@ -1,0 +1,114 @@
+#include "src/coloring/palette.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/math.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(ColorList, RangeConstruction) {
+  const ColorList l = ColorList::range(3, 8);
+  EXPECT_EQ(l.size(), 5);
+  EXPECT_TRUE(l.contains(3));
+  EXPECT_TRUE(l.contains(7));
+  EXPECT_FALSE(l.contains(8));
+  EXPECT_EQ(l.min(), 3);
+  EXPECT_EQ(ColorList::range(5, 5).size(), 0);
+}
+
+TEST(ColorList, RejectsUnsortedOrNegative) {
+  EXPECT_THROW(ColorList({3, 2}), std::invalid_argument);
+  EXPECT_THROW(ColorList({2, 2}), std::invalid_argument);
+  EXPECT_THROW(ColorList({-1, 2}), std::invalid_argument);
+}
+
+TEST(ColorList, RemoveSemantics) {
+  ColorList l = ColorList::range(0, 5);
+  EXPECT_TRUE(l.remove(2));
+  EXPECT_FALSE(l.remove(2));
+  EXPECT_FALSE(l.remove(99));
+  EXPECT_EQ(l.size(), 4);
+  EXPECT_FALSE(l.contains(2));
+}
+
+TEST(ColorList, MinExcluding) {
+  const ColorList l({2, 5, 7, 9});
+  EXPECT_EQ(l.min_excluding({}), 2);
+  EXPECT_EQ(l.min_excluding({2}), 5);
+  EXPECT_EQ(l.min_excluding({2, 5, 7}), 9);
+  EXPECT_EQ(l.min_excluding({2, 5, 7, 9}), kUncolored);
+  EXPECT_EQ(l.min_excluding({0, 1, 3, 4, 6, 8}), 2);  // non-members ignored
+  EXPECT_EQ(l.min_excluding({2, 3, 4, 5}), 7);
+}
+
+TEST(ColorList, CountInRange) {
+  const ColorList l({2, 5, 7, 9});
+  EXPECT_EQ(l.count_in_range(0, 10), 4);
+  EXPECT_EQ(l.count_in_range(5, 8), 2);
+  EXPECT_EQ(l.count_in_range(3, 5), 0);
+  EXPECT_EQ(l.count_in_range(9, 9), 0);
+  EXPECT_EQ(l.count_in_range(9, 10), 1);
+}
+
+TEST(ColorList, RestrictedToRange) {
+  const ColorList l({2, 5, 7, 9});
+  const ColorList r = l.restricted_to_range(5, 9);
+  EXPECT_EQ(r, ColorList({5, 7}));
+  EXPECT_TRUE(l.restricted_to_range(3, 5).empty());
+}
+
+TEST(PalettePartition, UniformShape) {
+  const PalettePartition p = PalettePartition::uniform(20, 4);
+  EXPECT_EQ(p.num_parts(), 4);
+  EXPECT_EQ(p.palette_size(), 20);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p.part_size(i), 5);
+  EXPECT_EQ(p.max_part_size(), 5);
+}
+
+TEST(PalettePartition, RaggedLastPart) {
+  const PalettePartition p = PalettePartition::uniform(10, 4);  // parts of ceil(10/4)=3
+  EXPECT_EQ(p.num_parts(), 4);
+  EXPECT_EQ(p.part_size(0), 3);
+  EXPECT_EQ(p.part_size(3), 1);
+  EXPECT_EQ(p.palette_size(), 10);
+}
+
+TEST(PalettePartition, InvariantsAcrossSweep) {
+  // Lemma 4.3 requires: parts of size <= ceil(C/p), q <= p (ours) <= 2p.
+  for (Color C : {1, 2, 7, 16, 100, 1001}) {
+    for (int p = 1; p <= C; p = p * 2 + 1) {
+      const PalettePartition part = PalettePartition::uniform(C, p);
+      EXPECT_LE(part.num_parts(), p);
+      EXPECT_GE(part.num_parts(), 1);
+      const Color cap = static_cast<Color>(ceil_div(C, p));
+      Color covered = 0;
+      for (int i = 0; i < part.num_parts(); ++i) {
+        EXPECT_LE(part.part_size(i), cap);
+        EXPECT_GE(part.part_size(i), 1);
+        EXPECT_EQ(part.part_begin(i), covered);
+        covered = part.part_end(i);
+      }
+      EXPECT_EQ(covered, C);
+    }
+  }
+}
+
+TEST(PalettePartition, PartOf) {
+  const PalettePartition p = PalettePartition::uniform(10, 3);  // sizes 4,4,2
+  EXPECT_EQ(p.part_of(0), 0);
+  EXPECT_EQ(p.part_of(3), 0);
+  EXPECT_EQ(p.part_of(4), 1);
+  EXPECT_EQ(p.part_of(8), 2);
+  EXPECT_EQ(p.part_of(9), 2);
+  EXPECT_THROW(p.part_of(10), std::invalid_argument);
+}
+
+TEST(PalettePartition, RejectsBadArguments) {
+  EXPECT_THROW(PalettePartition::uniform(0, 1), std::invalid_argument);
+  EXPECT_THROW(PalettePartition::uniform(5, 0), std::invalid_argument);
+  EXPECT_THROW(PalettePartition::uniform(5, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qplec

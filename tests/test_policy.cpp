@@ -1,0 +1,85 @@
+#include "src/core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/math.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(Policy, PracticalBetaIsFixed) {
+  const Policy p = Policy::practical();
+  EXPECT_EQ(p.beta(100), 50);
+  EXPECT_EQ(p.beta(100000), 50);
+}
+
+TEST(Policy, PaperBetaFollowsFormula) {
+  const Policy p = Policy::paper(/*alpha=*/1.0, /*c=*/1);
+  // beta = (log2 d)^4.
+  EXPECT_EQ(p.beta(16), 256);          // 4^4
+  EXPECT_EQ(p.beta(256), 4096);        // 8^4
+  EXPECT_EQ(p.beta(2), 2);             // clamped below at 2
+  const Policy p2 = Policy::paper(2.0, 1);
+  EXPECT_EQ(p2.beta(16), 512);
+}
+
+TEST(Policy, PaperBetaRespectsCap) {
+  Policy p = Policy::paper(1.0, 2);  // beta = log^8 d — explodes fast
+  p.beta_cap = 10000;
+  EXPECT_EQ(p.beta(1 << 20), 10000);
+}
+
+TEST(Policy, SpaceCostMatchesPaperFormula) {
+  // 24 * H_{2p} * log2 p.
+  EXPECT_NEAR(Policy::space_cost(2), 24.0 * harmonic(4) * 1.0, 1e-9);
+  EXPECT_NEAR(Policy::space_cost(8), 24.0 * harmonic(16) * 3.0, 1e-9);
+  // Monotone increasing.
+  double prev = 0;
+  for (int p = 2; p < 2000; p = p * 3 / 2 + 1) {
+    const double c = Policy::space_cost(p);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Policy, ChooseP_FrontierIsExact) {
+  const Policy pol = Policy::practical();
+  for (const double slack : {50.0, 60.0, 120.0, 400.0, 1100.0, 5000.0}) {
+    const int p = pol.choose_p(slack, /*palette_range=*/1 << 20, /*dbar=*/1 << 20);
+    ASSERT_GE(p, 2) << slack;
+    EXPECT_LE(Policy::space_cost(p), slack);
+    EXPECT_GT(Policy::space_cost(p + 1), slack);
+  }
+}
+
+TEST(Policy, ChooseP_InfeasibleSlack) {
+  const Policy pol = Policy::practical();
+  EXPECT_EQ(pol.choose_p(49.9, 1000, 1000), 0);  // cost(2) = 50
+  EXPECT_EQ(pol.choose_p(1.0, 1000, 1000), 0);
+}
+
+TEST(Policy, ChooseP_CappedByPalette) {
+  const Policy pol = Policy::practical();
+  EXPECT_EQ(pol.choose_p(1e9, /*palette_range=*/3, /*dbar=*/1000), 3);
+  EXPECT_EQ(pol.choose_p(1e9, /*palette_range=*/1, /*dbar=*/1000), 0);
+}
+
+TEST(Policy, PaperPPrefersSqrtDelta) {
+  const Policy pol = Policy::paper();
+  // With plenty of slack, p = sqrt(dbar).
+  EXPECT_EQ(pol.choose_p(1e9, 1 << 20, 1024), 32);
+  EXPECT_EQ(pol.choose_p(1e9, 1 << 20, 10000), 100);
+  // With tight slack, reduced to the feasible frontier.
+  const int p = pol.choose_p(60.0, 1 << 20, 10000);
+  EXPECT_GE(p, 2);
+  EXPECT_LE(Policy::space_cost(p), 60.0);
+}
+
+TEST(Policy, BetaRejectsNonPositiveDegree) {
+  EXPECT_THROW(Policy::practical().beta(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qplec

@@ -1,0 +1,102 @@
+#include "src/coloring/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(Problem, TwoDeltaInstanceShape) {
+  const auto inst = make_two_delta_instance(make_complete(6));
+  EXPECT_EQ(inst.palette_size, 2 * 5 - 1);
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    EXPECT_EQ(inst.lists[static_cast<std::size_t>(e)].size(), inst.palette_size);
+  }
+  EXPECT_NO_THROW(validate_instance(inst));
+}
+
+TEST(Problem, TwoDeltaFeasibleBecauseDegPlusOneAtMost2DeltaMinus1) {
+  // deg(e)+1 = deg(u)+deg(v)-1 <= 2*Delta-1 always.
+  const auto inst = make_two_delta_instance(make_gnp(40, 0.2, 6));
+  EXPECT_NO_THROW(validate_instance(inst));
+}
+
+TEST(Problem, RandomListSizesAreDegPlusOne) {
+  const Graph g = make_gnp(30, 0.25, 9);
+  const Color C = 3 * (g.max_edge_degree() + 1);
+  const auto inst = make_random_list_instance(make_gnp(30, 0.25, 9), C, 17);
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    EXPECT_EQ(inst.lists[static_cast<std::size_t>(e)].size(),
+              inst.graph.edge_degree(e) + 1);
+    if (!inst.lists[static_cast<std::size_t>(e)].empty()) {
+      EXPECT_LT(inst.lists[static_cast<std::size_t>(e)].colors().back(), C);
+      EXPECT_GE(inst.lists[static_cast<std::size_t>(e)].colors().front(), 0);
+    }
+  }
+  EXPECT_NO_THROW(validate_instance(inst));
+}
+
+TEST(Problem, RandomListRejectsTooSmallPalette) {
+  Graph g = make_complete(6);
+  const Color too_small = g.max_edge_degree();  // needs > max edge degree
+  EXPECT_THROW(make_random_list_instance(std::move(g), too_small, 1),
+               std::invalid_argument);
+}
+
+TEST(Problem, SlackInstanceSizes) {
+  const double S = 3.0;
+  const auto inst = make_slack_instance(make_random_regular(20, 4, 2), S, 200, 5);
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    const int deg = inst.graph.edge_degree(e);
+    EXPECT_GT(inst.lists[static_cast<std::size_t>(e)].size(), S * deg - 1e-9);
+  }
+}
+
+TEST(Problem, SlackInstanceRejectsInfeasible) {
+  EXPECT_THROW(make_slack_instance(make_complete(10), 50.0, 100, 1),
+               std::invalid_argument);
+}
+
+TEST(Problem, ClusteredInstanceValid) {
+  const auto inst =
+      make_clustered_list_instance(make_gnp(40, 0.15, 11), 500, 64, 23);
+  EXPECT_NO_THROW(validate_instance(inst));
+  // Lists are confined to narrow windows.
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    const auto& cl = inst.lists[static_cast<std::size_t>(e)].colors();
+    if (cl.size() >= 2) {
+      EXPECT_LE(cl.back() - cl.front(),
+                std::max<Color>(64, static_cast<Color>(cl.size())));
+    }
+  }
+}
+
+TEST(Problem, DeterministicBySeed) {
+  const auto a = make_random_list_instance(make_cycle(30), 10, 99);
+  const auto b = make_random_list_instance(make_cycle(30), 10, 99);
+  for (EdgeId e = 0; e < 30; ++e) {
+    EXPECT_EQ(a.lists[static_cast<std::size_t>(e)], b.lists[static_cast<std::size_t>(e)]);
+  }
+  const auto c = make_random_list_instance(make_cycle(30), 10, 100);
+  bool differ = false;
+  for (EdgeId e = 0; e < 30 && !differ; ++e) {
+    differ = !(a.lists[static_cast<std::size_t>(e)] == c.lists[static_cast<std::size_t>(e)]);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Problem, ValidateCatchesShortList) {
+  auto inst = make_two_delta_instance(make_cycle(5));
+  inst.lists[0] = ColorList({0});  // deg=2 needs >= 3
+  EXPECT_THROW(validate_instance(inst), std::invalid_argument);
+}
+
+TEST(Problem, ValidateCatchesOutOfPalette) {
+  auto inst = make_two_delta_instance(make_cycle(5));
+  inst.lists[0] = ColorList({0, 1, inst.palette_size});
+  EXPECT_THROW(validate_instance(inst), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qplec

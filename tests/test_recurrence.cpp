@@ -1,0 +1,127 @@
+#include "src/core/recurrence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qplec {
+namespace {
+
+TEST(LogVal, Multiplication) {
+  const LogVal a = LogVal::from_value(8);
+  const LogVal b = LogVal::from_value(4);
+  EXPECT_NEAR((a * b).l2, 5.0, 1e-12);  // 32
+}
+
+TEST(LogVal, AdditionExact) {
+  const LogVal a = LogVal::from_value(3);
+  const LogVal b = LogVal::from_value(5);
+  EXPECT_NEAR((a + b).l2, std::log2(8.0), 1e-12);
+}
+
+TEST(LogVal, AdditionAsymmetricMagnitudes) {
+  const LogVal big{100.0};
+  const LogVal small{0.0};
+  const double sum = (big + small).l2;
+  EXPECT_GE(sum, 100.0);
+  EXPECT_LE(sum, 100.0 + 1e-9);  // adding 1 to 2^100 is invisible
+}
+
+TEST(LogVal, RejectsNonPositive) {
+  EXPECT_THROW(LogVal::from_value(0), std::invalid_argument);
+  EXPECT_THROW(LogVal::from_value(-3), std::invalid_argument);
+}
+
+TEST(Recurrence, SimpleCurveValues) {
+  // quadratic: log2(4 d^2) = 2 + 2 log2 d.
+  EXPECT_NEAR(quadratic_log2_rounds(10.0), 22.0, 1e-9);
+  EXPECT_NEAR(linear_log2_rounds(10.0, 1.0), 10.0, 1e-9);
+  EXPECT_NEAR(linear_log2_rounds(10.0, 4.0), 12.0, 1e-9);
+  EXPECT_NEAR(kuh20_log2_rounds(64.0, 1.0), 8.0, 1e-9);
+}
+
+TEST(Recurrence, CurvesMonotoneInDelta) {
+  double prev_bko = 0, prev_kuh = 0, prev_fhk = 0;
+  for (double x = 6; x <= 4096; x *= 2) {
+    const double bko = bko_log2_rounds(x);
+    const double kuh = kuh20_log2_rounds(x);
+    const double fhk = fhk_log2_rounds(x);
+    EXPECT_GT(bko, prev_bko);
+    EXPECT_GT(kuh, prev_kuh);
+    EXPECT_GT(fhk, prev_fhk);
+    prev_bko = bko;
+    prev_kuh = kuh;
+    prev_fhk = fhk;
+  }
+}
+
+TEST(Recurrence, AsymptoticOrderingOfPriorWork) {
+  // For large Delta: quadratic > KW > linear > FHK > Kuh20.
+  const double x = 400.0;  // Delta = 2^400
+  EXPECT_GT(quadratic_log2_rounds(x), kw_log2_rounds(x));
+  EXPECT_GT(kw_log2_rounds(x), linear_log2_rounds(x));
+  EXPECT_GT(linear_log2_rounds(x), fhk_log2_rounds(x));
+  EXPECT_GT(fhk_log2_rounds(x), kuh20_log2_rounds(x));
+}
+
+TEST(Recurrence, BkoIsQuasiPolylog) {
+  // T = log^{O(log log d)} d means log2(T) ~ (log log d) * log2(log2 d): it
+  // grows far slower than any Delta^eps curve whose log2 is eps * log2(d).
+  const double a = bko_log2_rounds(1 << 10);  // Delta = 2^1024
+  const double b = bko_log2_rounds(1 << 16);  // Delta = 2^65536
+  const double c = bko_log2_rounds(1 << 20);  // Delta = 2^(2^20)
+  // Against Delta^(1/2) (FHK's exponent): log2 = log2(d)/2.
+  EXPECT_LT(b, (1 << 16) / 2.0);
+  EXPECT_LT(c, (1 << 20) / 2.0);
+  // Sub-polynomial: multiplying log2(d) by 64 (2^10 -> 2^16) must grow
+  // log2(T) by far less than 64x.
+  EXPECT_LT(b / a, 4.0);
+  EXPECT_LT(c / b, 2.0);
+}
+
+TEST(Recurrence, BkoEventuallyBeatsKuh20) {
+  // The headline claim: log^{O(log log)} < 2^{O(sqrt(log))} for Delta large
+  // enough (astronomically large — that is the honest content of the bound).
+  const double cross = crossover_log2_delta(
+      [](double x) { return bko_log2_rounds(x); },
+      [](double x) { return kuh20_log2_rounds(x, 1.0); }, 16.0, 1e7, 1000.0);
+  EXPECT_GT(cross, 0.0) << "no crossover found up to Delta = 2^(10^7)";
+  // And before the crossover Kuh20 wins (constants matter at small Delta).
+  EXPECT_LT(kuh20_log2_rounds(64.0), bko_log2_rounds(64.0));
+}
+
+TEST(Recurrence, BkoBeatsPolynomialCurvesMuchEarlier) {
+  const double vs_linear = crossover_log2_delta(
+      [](double x) { return bko_log2_rounds(x); },
+      [](double x) { return linear_log2_rounds(x); }, 8.0, 1e5, 8.0);
+  const double vs_fhk = crossover_log2_delta(
+      [](double x) { return bko_log2_rounds(x); },
+      [](double x) { return fhk_log2_rounds(x); }, 8.0, 1e5, 8.0);
+  EXPECT_GT(vs_linear, 0.0);
+  EXPECT_GT(vs_fhk, 0.0);
+  EXPECT_LE(vs_linear, vs_fhk);  // the weaker bound falls first
+}
+
+TEST(Recurrence, ConstantsShiftButDoNotChangeShape) {
+  BkoConstants cheap;
+  cheap.alpha = 0.1;
+  cheap.class_factor = 1.0;
+  cheap.log_star = 1.0;
+  cheap.base_rounds = 1.0;
+  BkoConstants costly;
+  costly.alpha = 10.0;
+  for (double x = 8; x <= 2048; x *= 4) {
+    EXPECT_LT(bko_log2_rounds(x, cheap), bko_log2_rounds(x, costly));
+  }
+}
+
+TEST(Recurrence, HigherPaletteExponentCostsMore) {
+  BkoConstants c1;
+  c1.c = 1;
+  BkoConstants c2;
+  c2.c = 2;
+  EXPECT_LT(bko_log2_rounds(256.0, c1), bko_log2_rounds(256.0, c2));
+}
+
+}  // namespace
+}  // namespace qplec

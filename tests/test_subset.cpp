@@ -1,0 +1,92 @@
+#include "src/graph/subset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.hpp"
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(EdgeSubset, InsertEraseContains) {
+  EdgeSubset s(10);
+  EXPECT_TRUE(s.empty());
+  s.insert(3);
+  s.insert(3);  // idempotent
+  s.insert(7);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  s.erase(3);
+  s.erase(3);  // idempotent
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_THROW(s.contains(10), std::invalid_argument);
+  EXPECT_THROW(s.insert(-1), std::invalid_argument);
+}
+
+TEST(EdgeSubset, AllAndOf) {
+  const Graph g = make_cycle(8);
+  const EdgeSubset all = EdgeSubset::all(g);
+  EXPECT_EQ(all.size(), 8);
+  const EdgeSubset some = EdgeSubset::of(8, {0, 2, 4});
+  EXPECT_EQ(some.size(), 3);
+  EXPECT_TRUE(some.contains(2));
+  EXPECT_FALSE(some.contains(1));
+}
+
+TEST(EdgeSubset, ToVectorSorted) {
+  EdgeSubset s(20);
+  s.insert(11);
+  s.insert(2);
+  s.insert(19);
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v[1], 11);
+  EXPECT_EQ(v[2], 19);
+}
+
+TEST(EdgeSubset, InducedDegreeOnCycle) {
+  const Graph g = make_cycle(6);  // edges form a 6-cycle in the line graph too
+  EdgeSubset s = EdgeSubset::all(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(s.induced_edge_degree(g, e), 2);
+  }
+  // Remove one edge: its two line-neighbors lose a neighbor.
+  s.erase(0);
+  const auto nbrs = g.edge_neighbors(0);
+  for (EdgeId f : nbrs) EXPECT_EQ(s.induced_edge_degree(g, f), 1);
+  EXPECT_EQ(s.max_induced_edge_degree(g), 2);
+}
+
+TEST(EdgeSubset, InducedDegreeMatchesBruteForce) {
+  const Graph g = make_gnp(30, 0.2, 5);
+  EdgeSubset s(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) s.insert(e);  // every other edge
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    int expected = 0;
+    for (EdgeId f : g.edge_neighbors(e)) {
+      if (s.contains(f)) ++expected;
+    }
+    EXPECT_EQ(s.induced_edge_degree(g, e), expected);
+  }
+}
+
+TEST(EdgeSubset, MaxInducedDegreeEmptySubset) {
+  const Graph g = make_cycle(5);
+  const EdgeSubset s(g.num_edges());
+  EXPECT_EQ(s.max_induced_edge_degree(g), 0);
+}
+
+TEST(EdgeSubset, Equality) {
+  EdgeSubset a(5), b(5);
+  a.insert(1);
+  b.insert(1);
+  EXPECT_EQ(a, b);
+  b.insert(2);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace qplec

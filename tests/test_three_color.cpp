@@ -1,0 +1,88 @@
+#include "src/coloring/three_color.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/initial.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+namespace {
+
+/// Conflict view over the edges of a cycle/path graph: edge conflicts =
+/// shared endpoint — max degree 2, the structure §4.1 3-colors.
+TEST(ThreeColor, CycleEdges) {
+  for (const int n : {3, 4, 5, 17, 64, 101}) {
+    const Graph g = make_cycle(n).with_scrambled_ids(
+        static_cast<std::uint64_t>(n) * n, 3);
+    const LineGraphConflict view(g, EdgeSubset::all(g));
+    const InitialColoring init = initial_edge_coloring_from_ids(g);
+    RoundLedger ledger;
+    const auto res = three_color_paths_cycles(view, init.colors, init.palette, ledger);
+    EXPECT_TRUE(is_proper_on_conflict(view, res.colors));
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_GE(res.colors[static_cast<std::size_t>(e)], 0);
+      EXPECT_LE(res.colors[static_cast<std::size_t>(e)], 2);
+    }
+    EXPECT_LE(res.rounds, 60) << "n=" << n;  // O(log* X): small constant
+  }
+}
+
+TEST(ThreeColor, DisjointPathsAndCycles) {
+  // Explicit conflict graph: a 5-path, a 4-cycle and two isolated items.
+  std::vector<std::pair<int, int>> conflicts{
+      {0, 1}, {1, 2}, {2, 3}, {3, 4},          // path
+      {5, 6}, {6, 7}, {7, 8}, {8, 5},          // cycle
+  };
+  const ExplicitConflict view(11, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, conflicts);
+  std::vector<std::uint64_t> phi(11);
+  for (std::size_t i = 0; i < phi.size(); ++i) phi[i] = i * 37 + 5;  // distinct
+  RoundLedger ledger;
+  const auto res = three_color_paths_cycles(view, phi, 11 * 37 + 6, ledger);
+  EXPECT_TRUE(is_proper_on_conflict(view, res.colors));
+}
+
+TEST(ThreeColor, OddCycleNeedsAllThreeColors) {
+  const Graph g = make_cycle(7).with_scrambled_ids(49, 9);
+  const LineGraphConflict view(g, EdgeSubset::all(g));
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger ledger;
+  const auto res = three_color_paths_cycles(view, init.colors, init.palette, ledger);
+  bool used[3] = {false, false, false};
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    used[res.colors[static_cast<std::size_t>(e)]] = true;
+  }
+  EXPECT_TRUE(used[0] && used[1] && used[2]);
+}
+
+TEST(ThreeColor, RejectsHighDegree) {
+  const Graph g = make_star(4);  // line graph K4: degree 3
+  const LineGraphConflict view(g, EdgeSubset::all(g));
+  const InitialColoring init = initial_edge_coloring_from_ids(g);
+  RoundLedger ledger;
+  EXPECT_THROW(three_color_paths_cycles(view, init.colors, init.palette, ledger),
+               std::invalid_argument);
+}
+
+TEST(ThreeColor, RoundsIndependentOfLength) {
+  // The whole point: rounds depend on log* X, not on the cycle length.
+  int rounds_small = 0, rounds_large = 0;
+  {
+    const Graph g = make_cycle(8).with_scrambled_ids(1u << 16, 3);
+    const LineGraphConflict view(g, EdgeSubset::all(g));
+    const InitialColoring init = initial_edge_coloring_from_ids(g);
+    RoundLedger ledger;
+    rounds_small = three_color_paths_cycles(view, init.colors, init.palette, ledger).rounds;
+  }
+  {
+    const Graph g = make_cycle(2048).with_scrambled_ids(1u << 16, 3);
+    const LineGraphConflict view(g, EdgeSubset::all(g));
+    const InitialColoring init = initial_edge_coloring_from_ids(g);
+    RoundLedger ledger;
+    rounds_large = three_color_paths_cycles(view, init.colors, init.palette, ledger).rounds;
+  }
+  EXPECT_EQ(rounds_small, rounds_large);
+}
+
+}  // namespace
+}  // namespace qplec
