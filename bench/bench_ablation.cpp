@@ -27,7 +27,8 @@ void ablate_beta() {
     pol.beta_fixed = beta;
     pol.base_degree_threshold = 8;
     const auto res = Solver(pol).solve(inst);
-    t.row({fmt(beta), fmt(static_cast<std::int64_t>(3LL * (4 * beta) * (4 * beta + 1) / 2)), fmt(res.rounds),
+    t.row({fmt(beta), fmt(static_cast<std::int64_t>(3LL * (4 * beta) * (4 * beta + 1) / 2)),
+           fmt(res.rounds),
            fmt(res.stats.defective_calls),
            is_valid_list_coloring(inst, res.colors) ? "yes" : "NO"});
   }

@@ -67,7 +67,8 @@ void print_level_distribution() {
       std::sort(ks.begin(), ks.end());
       std::string level_str;
       for (const auto& [lvl, cnt] : levels) {
-        level_str += "l" + std::to_string(lvl) + ":" + std::to_string(cnt) + " ";
+        level_str.append("l").append(std::to_string(lvl)).append(":");
+        level_str.append(std::to_string(cnt)).append(" ");
       }
       t.row({shape, fmt(q), fmt(total), fmt(ks[ks.size() / 2]), fmt(ks.back()),
              level_str, fmt(min_tight, 3)});

@@ -13,8 +13,10 @@
 #include "bench/support.hpp"
 #include "src/coloring/baselines.hpp"
 #include "src/coloring/validate.hpp"
+#include "src/common/assert.hpp"
 #include "src/core/solver.hpp"
 #include "src/graph/generators.hpp"
+#include "src/runtime/scenarios.hpp"
 
 namespace {
 
@@ -28,46 +30,47 @@ struct Row {
   double bko_ms;
 };
 
-Row run_point(int n, int d, std::uint64_t seed) {
-  const Graph g = make_random_regular(n, d, seed).with_scrambled_ids(
-      static_cast<std::uint64_t>(n) * n, seed + 1);
-  const auto inst = make_two_delta_instance(g);
-
-  Row row{};
-  row.d = d;
-  row.dbar = g.max_edge_degree();
-
-  {
-    WallTimer timer;
-    const auto res = Solver(Policy::practical()).solve(inst);
-    row.bko = res.rounds;
-    row.bko_ms = timer.ms();
-    expect_valid_solution(inst, res.colors);
-  }
-  {
-    RoundLedger ledger;
-    row.greedy = baseline_greedy_by_class(inst, ledger).rounds;
-  }
-  {
-    RoundLedger ledger;
-    row.kw = baseline_kuhn_wattenhofer(inst, ledger).rounds;
-  }
-  {
-    RoundLedger ledger;
-    row.luby = baseline_luby(inst, seed + 5, ledger).rounds;
-  }
-  return row;
-}
-
 void print_sweep() {
   banner("EXP-T1: simulated LOCAL rounds vs Delta (random d-regular, n = 512)",
          "(deg+1)-list edge coloring solved deterministically; round growth of the "
          "recursion is sub-quadratic in Delta-bar");
+  // The BKO side of the sweep runs through the parallel batch runtime (the
+  // Delta points shard across workers); baselines run inline on the same
+  // instances.
+  const std::vector<int> degrees = {4, 8, 16, 32, 64};
+  std::vector<Scenario> manifest;
+  for (const int d : degrees) {
+    manifest.push_back(Scenario{GraphFamily::kRegular, 512, ListFlavor::kTwoDelta,
+                                PolicyKind::kPractical,
+                                1000 + static_cast<std::uint64_t>(d), /*aux=*/d});
+  }
+  const BatchReport report = run_batch("rounds_vs_delta", manifest);
+
   Table t({"d", "Dbar", "BKO rounds", "greedy-by-class", "KW06", "Luby (rand)",
            "BKO wall ms"});
   std::vector<Row> rows;
-  for (const int d : {4, 8, 16, 32, 64}) {
-    rows.push_back(run_point(512, d, 1000 + static_cast<std::uint64_t>(d)));
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    const ScenarioResult& res = report.results[i];
+    QPLEC_REQUIRE(res.valid);
+    Row row{};
+    row.d = degrees[i];
+    row.dbar = res.max_edge_degree;
+    row.bko = res.rounds;
+    row.bko_ms = res.solve_ms;
+    const auto inst = build_instance(manifest[i]);
+    {
+      RoundLedger ledger;
+      row.greedy = baseline_greedy_by_class(inst, ledger).rounds;
+    }
+    {
+      RoundLedger ledger;
+      row.kw = baseline_kuhn_wattenhofer(inst, ledger).rounds;
+    }
+    {
+      RoundLedger ledger;
+      row.luby = baseline_luby(inst, manifest[i].seed + 5, ledger).rounds;
+    }
+    rows.push_back(row);
     const Row& r = rows.back();
     t.row({fmt(r.d), fmt(r.dbar), fmt(r.bko), fmt(r.greedy), fmt(r.kw), fmt(r.luby),
            fmt(r.bko_ms, 1)});
@@ -79,7 +82,8 @@ void print_sweep() {
   for (std::size_t i = 1; i < rows.size(); ++i) {
     g.row({fmt(static_cast<double>(rows[i].dbar) / rows[i - 1].dbar, 2),
            fmt(static_cast<double>(rows[i].bko) / std::max<std::int64_t>(1, rows[i - 1].bko), 2),
-           fmt(static_cast<double>(rows[i].greedy) / std::max<std::int64_t>(1, rows[i - 1].greedy), 2),
+           fmt(static_cast<double>(rows[i].greedy) / std::max<std::int64_t>(1, rows[i - 1].greedy),
+               2),
            fmt(static_cast<double>(rows[i].kw) / std::max<std::int64_t>(1, rows[i - 1].kw), 2)});
   }
   g.print();

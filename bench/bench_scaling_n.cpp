@@ -5,8 +5,10 @@
 
 #include "bench/support.hpp"
 #include "src/coloring/baselines.hpp"
+#include "src/common/assert.hpp"
 #include "src/core/solver.hpp"
 #include "src/graph/generators.hpp"
+#include "src/runtime/scenarios.hpp"
 
 namespace {
 
@@ -16,17 +18,25 @@ using namespace qplec::bench;
 void print_scaling() {
   banner("EXP-N: rounds vs n at fixed d = 8 (random regular)",
          "complexity is f(Delta) + O(log* n): growth in n is (iterated-log) flat");
+  // The BKO sweep routes through the parallel batch runtime (one scenario per
+  // n); the baselines run inline on the identical instances.
+  const std::vector<int> ns = {64, 128, 256, 512, 1024, 2048, 4096};
+  std::vector<Scenario> manifest;
+  for (const int n : ns) {
+    manifest.push_back(Scenario{GraphFamily::kRegular, n, ListFlavor::kTwoDelta,
+                                PolicyKind::kPractical, static_cast<std::uint64_t>(n),
+                                /*aux=*/8});
+  }
+  const BatchReport report = run_batch("scaling_n", manifest);
   Table t({"n", "BKO rounds", "greedy-by-class", "KW06", "Luby (rand)"});
-  for (const int n : {64, 128, 256, 512, 1024, 2048, 4096}) {
-    const Graph g = make_random_regular(n, 8, static_cast<std::uint64_t>(n)).
-        with_scrambled_ids(static_cast<std::uint64_t>(n) * n, 3);
-    const auto inst = make_two_delta_instance(g);
-    const auto bko = Solver(Policy::practical()).solve(inst);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    QPLEC_REQUIRE(report.results[i].valid);
+    const auto inst = build_instance(manifest[i]);
     RoundLedger l1, l2, l3;
     const auto greedy = baseline_greedy_by_class(inst, l1);
     const auto kw = baseline_kuhn_wattenhofer(inst, l2);
     const auto luby = baseline_luby(inst, 11, l3);
-    t.row({fmt(n), fmt(bko.rounds), fmt(greedy.rounds), fmt(kw.rounds),
+    t.row({fmt(ns[i]), fmt(report.results[i].rounds), fmt(greedy.rounds), fmt(kw.rounds),
            fmt(luby.rounds)});
   }
   t.print();

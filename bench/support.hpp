@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/batch_solver.hpp"
+#include "src/runtime/reporter.hpp"
+#include "src/runtime/scenarios.hpp"
+
 namespace qplec::bench {
 
 /// Fixed-width markdown-style table writer.
@@ -83,6 +87,25 @@ inline void banner(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("  claim under test: %s\n", claim);
   std::printf("==============================================================\n\n");
+}
+
+/// Runs a scenario manifest through the parallel batch runtime and writes the
+/// machine-readable trajectory file BENCH_<name>.json next to the binary.
+/// The experiment tables stay human-readable; the JSON is what perf tracking
+/// consumes.  threads <= 0 uses the hardware concurrency.
+inline BatchReport run_batch(const char* name, const std::vector<Scenario>& manifest,
+                             int threads = 0) {
+  BatchOptions options;
+  options.num_threads = threads;
+  const BatchReport report = BatchSolver(options).run(manifest);
+  BenchReporter reporter;
+  reporter.set("bench", name).set("algorithm", "bko_podc2020");
+  const std::string path = std::string("BENCH_") + name + ".json";
+  reporter.write_json_file(report, path);
+  std::printf("[%s] %zu scenarios on %d threads: %.1f ms wall, %.0f edges/s -> %s\n\n",
+              name, report.results.size(), report.num_threads, report.wall_ms,
+              report.edges_per_sec(), path.c_str());
+  return report;
 }
 
 }  // namespace qplec::bench

@@ -15,7 +15,9 @@ std::vector<Color> sample_colors(Rng& rng, Color lo, Color hi, int size) {
   out.reserve(static_cast<std::size_t>(size));
   if (size * 3 >= span) {
     std::vector<Color> pool(static_cast<std::size_t>(span));
-    for (std::int64_t i = 0; i < span; ++i) pool[static_cast<std::size_t>(i)] = lo + static_cast<Color>(i);
+    for (std::int64_t i = 0; i < span; ++i) {
+      pool[static_cast<std::size_t>(i)] = lo + static_cast<Color>(i);
+    }
     rng.shuffle(pool);
     out.assign(pool.begin(), pool.begin() + size);
   } else {

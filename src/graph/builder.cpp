@@ -44,8 +44,10 @@ Graph GraphBuilder::build() const {
   // which for a fixed node u is increasing (u, v) order only for the u-side;
   // sort each adjacency list by neighbor so find_edge can binary search.
   for (int v = 0; v < num_nodes_; ++v) {
-    auto begin = g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[static_cast<std::size_t>(v)]);
-    auto end = g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[static_cast<std::size_t>(v) + 1]);
+    auto begin =
+        g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[static_cast<std::size_t>(v)]);
+    auto end =
+        g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[static_cast<std::size_t>(v) + 1]);
     std::sort(begin, end,
               [](const Incidence& a, const Incidence& b) { return a.neighbor < b.neighbor; });
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.hpp"
@@ -273,6 +275,92 @@ Graph make_random_bipartite_regular(int a, int b_count, int d, std::uint64_t see
     for (int k = 0; k < d; ++k) b.add_edge(i, a + rights[static_cast<std::size_t>(k)]);
   }
   return b.build();
+}
+
+namespace {
+
+constexpr GraphFamily kAllFamilies[] = {
+    GraphFamily::kPath,     GraphFamily::kCycle, GraphFamily::kStar,
+    GraphFamily::kComplete, GraphFamily::kBipartite, GraphFamily::kGrid,
+    GraphFamily::kTorus,    GraphFamily::kHypercube, GraphFamily::kTree,
+    GraphFamily::kRegular,  GraphFamily::kGnp,   GraphFamily::kPowerLaw,
+};
+
+}  // namespace
+
+std::span<const GraphFamily> all_graph_families() { return kAllFamilies; }
+
+const char* family_name(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kPath:
+      return "path";
+    case GraphFamily::kCycle:
+      return "cycle";
+    case GraphFamily::kStar:
+      return "star";
+    case GraphFamily::kComplete:
+      return "complete";
+    case GraphFamily::kBipartite:
+      return "bipartite";
+    case GraphFamily::kGrid:
+      return "grid";
+    case GraphFamily::kTorus:
+      return "torus";
+    case GraphFamily::kHypercube:
+      return "hypercube";
+    case GraphFamily::kTree:
+      return "tree";
+    case GraphFamily::kRegular:
+      return "regular";
+    case GraphFamily::kGnp:
+      return "gnp";
+    case GraphFamily::kPowerLaw:
+      return "power_law";
+  }
+  return "?";
+}
+
+GraphFamily parse_family(std::string_view name) {
+  for (const GraphFamily f : kAllFamilies) {
+    if (name == family_name(f)) return f;
+  }
+  throw std::invalid_argument("unknown graph family: " + std::string(name));
+}
+
+Graph make_family_graph(GraphFamily family, int size, std::uint64_t seed, int aux) {
+  switch (family) {
+    case GraphFamily::kPath:
+      return make_path(size);
+    case GraphFamily::kCycle:
+      return make_cycle(size);
+    case GraphFamily::kStar:
+      return make_star(size);
+    case GraphFamily::kComplete:
+      return make_complete(size);
+    case GraphFamily::kBipartite:
+      return make_complete_bipartite(size / 2, size - size / 2);
+    case GraphFamily::kGrid:
+      return make_grid(size, size + 1);
+    case GraphFamily::kTorus:
+      return make_torus(size, size + 1);
+    case GraphFamily::kHypercube:
+      return make_hypercube(size);
+    case GraphFamily::kTree:
+      return make_random_tree(size, seed);
+    case GraphFamily::kRegular: {
+      const int d = aux > 0 ? aux : std::min(size - 1, 8) / 2 * 2;
+      return make_random_regular(size, d, seed);
+    }
+    case GraphFamily::kGnp: {
+      const double expected = aux > 0 ? static_cast<double>(aux) : 6.0;
+      return make_gnp(size, expected / size, seed);
+    }
+    case GraphFamily::kPowerLaw: {
+      const double max_deg = aux > 0 ? static_cast<double>(aux) : 12.0;
+      return make_power_law(size, 2.5, max_deg, seed);
+    }
+  }
+  return Graph();
 }
 
 }  // namespace qplec

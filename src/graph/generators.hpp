@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string_view>
 
 #include "src/graph/graph.hpp"
 
@@ -57,5 +59,43 @@ Graph make_power_law(int n, double gamma, double max_expected_degree, std::uint6
 /// Random bipartite graph: a left nodes, b right nodes, each left node gets
 /// exactly d distinct right neighbors (d <= b).  Models switch traffic.
 Graph make_random_bipartite_regular(int a, int b, int d, std::uint64_t seed);
+
+/// The graph families the test suite and the batch runtime sweep over, as a
+/// single enumeration so a scenario manifest can name them.  Each family maps
+/// one "size" knob to concrete generator parameters (see make_family_graph).
+enum class GraphFamily {
+  kPath,
+  kCycle,
+  kStar,
+  kComplete,
+  kBipartite,
+  kGrid,
+  kTorus,
+  kHypercube,
+  kTree,
+  kRegular,
+  kGnp,
+  kPowerLaw,
+};
+
+/// All families, in declaration order (for manifest sweeps).
+std::span<const GraphFamily> all_graph_families();
+
+/// Stable lowercase name ("path", "cycle", ...) used in manifests and reports.
+const char* family_name(GraphFamily family);
+
+/// Inverse of family_name; throws std::invalid_argument on unknown names.
+GraphFamily parse_family(std::string_view name);
+
+/// Builds the family member of the given size with the standard parameter
+/// mapping shared by tests, benches and the batch runtime:
+///   path/cycle/star/complete/tree: n = size;
+///   bipartite: K_{size/2, size-size/2};   grid: size x (size+1);
+///   torus: size x (size+1);               hypercube: dimension = size;
+///   regular: degree = aux > 0 ? aux : even-clamped min(size-1, 8);
+///   gnp: expected degree aux > 0 ? aux : 6;
+///   power_law: gamma 2.5, max expected degree = aux > 0 ? aux : 12.
+/// `aux` is the family-specific secondary knob (0 = default above).
+Graph make_family_graph(GraphFamily family, int size, std::uint64_t seed, int aux = 0);
 
 }  // namespace qplec

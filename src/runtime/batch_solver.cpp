@@ -1,0 +1,96 @@
+#include "src/runtime/batch_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/coloring/validate.hpp"
+#include "src/runtime/thread_pool.hpp"
+
+namespace qplec {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Per-worker scratch: one Solver per policy kind, constructed once and
+/// reused for every scenario the worker (or a thief hand-off) executes.
+struct WorkerScratch {
+  Solver practical{make_policy(PolicyKind::kPractical)};
+  Solver paper{make_policy(PolicyKind::kPaper)};
+
+  const Solver& solver_for(PolicyKind kind) const {
+    return kind == PolicyKind::kPaper ? paper : practical;
+  }
+};
+
+}  // namespace
+
+std::uint64_t hash_coloring(const EdgeColoring& colors) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const Color c : colors) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+BatchSolver::BatchSolver(BatchOptions options) : options_(options) {}
+
+int BatchSolver::num_threads() const {
+  if (options_.num_threads > 0) return options_.num_threads;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
+  ThreadPool pool(options_.num_threads);
+
+  BatchReport report;
+  report.num_threads = pool.num_threads();
+  report.results.resize(manifest.size());
+
+  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(pool.num_threads()));
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  pool.run_indexed(static_cast<int>(manifest.size()), [&](int worker_id, int index) {
+    const Scenario& scenario = manifest[static_cast<std::size_t>(index)];
+    ScenarioResult& out = report.results[static_cast<std::size_t>(index)];
+    out.scenario = scenario;
+
+    const auto build_start = std::chrono::steady_clock::now();
+    const ListEdgeColoringInstance instance = build_instance(scenario);
+    out.build_ms = ms_since(build_start);
+    out.num_nodes = instance.graph.num_nodes();
+    out.num_edges = instance.graph.num_edges();
+    out.max_degree = instance.graph.max_degree();
+    out.max_edge_degree = instance.graph.max_edge_degree();
+    out.palette_size = instance.palette_size;
+
+    const Solver& solver =
+        scratch[static_cast<std::size_t>(worker_id)].solver_for(scenario.policy);
+    const auto solve_start = std::chrono::steady_clock::now();
+    const SolveResult res = solver.solve(instance);
+    out.solve_ms = ms_since(solve_start);
+
+    out.rounds = res.rounds;
+    out.raw_rounds = res.raw_rounds;
+    out.colors_hash = hash_coloring(res.colors);
+    out.valid = is_valid_list_coloring(instance, res.colors);
+    out.edges_per_sec = out.solve_ms > 0
+                            ? static_cast<double>(out.num_edges) / (out.solve_ms / 1000.0)
+                            : 0.0;
+    if (options_.keep_colors) out.colors = res.colors;
+  });
+  report.wall_ms = ms_since(batch_start);
+
+  for (const ScenarioResult& r : report.results) {
+    report.total_edges += r.num_edges;
+    report.total_solve_ms += r.solve_ms;
+  }
+  return report;
+}
+
+}  // namespace qplec

@@ -1,0 +1,114 @@
+#include "src/runtime/reporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace qplec {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string fixed(double v, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+BenchReporter& BenchReporter::set(const std::string& key, const std::string& value) {
+  labels_.emplace_back(key, value);
+  return *this;
+}
+
+void BenchReporter::write_json(const BatchReport& report, std::ostream& out) const {
+  out << "{\n";
+  for (const auto& [key, value] : labels_) {
+    out << "  \"" << json_escape(key) << "\": \"" << json_escape(value) << "\",\n";
+  }
+  out << "  \"num_threads\": " << report.num_threads << ",\n";
+  out << "  \"num_scenarios\": " << report.results.size() << ",\n";
+  out << "  \"wall_ms\": " << fixed(report.wall_ms) << ",\n";
+  out << "  \"total_solve_ms\": " << fixed(report.total_solve_ms) << ",\n";
+  out << "  \"total_edges\": " << report.total_edges << ",\n";
+  out << "  \"edges_per_sec\": " << fixed(report.edges_per_sec(), 1) << ",\n";
+  out << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const ScenarioResult& r = report.results[i];
+    const Scenario& s = r.scenario;
+    out << "    {\n";
+    out << "      \"name\": \"" << json_escape(s.name()) << "\",\n";
+    out << "      \"family\": \"" << family_name(s.family) << "\",\n";
+    out << "      \"size\": " << s.size << ",\n";
+    out << "      \"lists\": \"" << flavor_name(s.lists) << "\",\n";
+    out << "      \"policy\": \"" << policy_name(s.policy) << "\",\n";
+    out << "      \"seed\": " << s.seed << ",\n";
+    out << "      \"aux\": " << s.aux << ",\n";
+    out << "      \"nodes\": " << r.num_nodes << ",\n";
+    out << "      \"edges\": " << r.num_edges << ",\n";
+    out << "      \"delta\": " << r.max_degree << ",\n";
+    out << "      \"delta_bar\": " << r.max_edge_degree << ",\n";
+    out << "      \"palette\": " << r.palette_size << ",\n";
+    out << "      \"rounds\": " << r.rounds << ",\n";
+    out << "      \"raw_rounds\": " << r.raw_rounds << ",\n";
+    out << "      \"build_ms\": " << fixed(r.build_ms) << ",\n";
+    out << "      \"solve_ms\": " << fixed(r.solve_ms) << ",\n";
+    out << "      \"edges_per_sec\": " << fixed(r.edges_per_sec, 1) << ",\n";
+    out << "      \"colors_hash\": \"" << std::hex << r.colors_hash << std::dec << "\",\n";
+    out << "      \"valid\": " << (r.valid ? "true" : "false") << "\n";
+    out << "    }" << (i + 1 < report.results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+void BenchReporter::write_json_file(const BatchReport& report, const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_json(report, out);
+  if (!out.flush()) throw std::runtime_error("write to " + path + " failed");
+}
+
+void BenchReporter::write_text(const BatchReport& report, std::ostream& out) const {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-42s %8s %8s %7s %9s %10s %6s\n", "scenario", "edges",
+                "Dbar", "rounds", "solve ms", "edges/s", "valid");
+  out << line;
+  for (const ScenarioResult& r : report.results) {
+    std::snprintf(line, sizeof(line), "%-42s %8d %8d %7lld %9.2f %10.0f %6s\n",
+                  r.scenario.name().c_str(), r.num_edges, r.max_edge_degree,
+                  static_cast<long long>(r.rounds), r.solve_ms, r.edges_per_sec,
+                  r.valid ? "yes" : "NO");
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "batch: %zu scenarios, %d threads, %.1f ms wall (%.1f ms solve work), "
+                "%.0f edges/s\n",
+                report.results.size(), report.num_threads, report.wall_ms,
+                report.total_solve_ms, report.edges_per_sec());
+  out << line;
+}
+
+}  // namespace qplec

@@ -1,0 +1,36 @@
+// BenchReporter — machine-readable benchmark output.
+//
+// Serializes a BatchReport as JSON (BENCH_batch.json by convention) so the
+// perf trajectory — per-scenario rounds, wall time, edges/sec, palette sizes
+// — is trackable across commits, and comparison algorithms (Bernshteyn
+// arXiv:2006.15703, BBKO arXiv:2206.00976) can later be added as extra
+// series without changing the schema.  No JSON dependency: the writer emits
+// the (flat, numeric) schema by hand.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/runtime/batch_solver.hpp"
+
+namespace qplec {
+
+class BenchReporter {
+ public:
+  /// Free-form labels recorded at the top level of the report.
+  BenchReporter& set(const std::string& key, const std::string& value);
+
+  /// Writes the report as pretty-printed JSON.
+  void write_json(const BatchReport& report, std::ostream& out) const;
+
+  /// write_json to `path` (throws std::runtime_error on I/O failure).
+  void write_json_file(const BatchReport& report, const std::string& path) const;
+
+  /// One aligned human-readable row per scenario (the CLI's stdout view).
+  void write_text(const BatchReport& report, std::ostream& out) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> labels_;
+};
+
+}  // namespace qplec

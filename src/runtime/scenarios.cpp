@@ -1,0 +1,204 @@
+#include "src/runtime/scenarios.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qplec {
+
+const char* flavor_name(ListFlavor flavor) {
+  switch (flavor) {
+    case ListFlavor::kTwoDelta:
+      return "two_delta";
+    case ListFlavor::kRandomDegPlusOne:
+      return "random_lists";
+    case ListFlavor::kClustered:
+      return "clustered";
+  }
+  return "?";
+}
+
+ListFlavor parse_flavor(std::string_view name) {
+  for (const ListFlavor f :
+       {ListFlavor::kTwoDelta, ListFlavor::kRandomDegPlusOne, ListFlavor::kClustered}) {
+    if (name == flavor_name(f)) return f;
+  }
+  throw std::invalid_argument("unknown list flavor: " + std::string(name));
+}
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPractical:
+      return "practical";
+    case PolicyKind::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy(std::string_view name) {
+  for (const PolicyKind k : {PolicyKind::kPractical, PolicyKind::kPaper}) {
+    if (name == policy_name(k)) return k;
+  }
+  throw std::invalid_argument("unknown policy: " + std::string(name));
+}
+
+Policy make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPractical:
+      return Policy::practical();
+    case PolicyKind::kPaper: {
+      Policy p = Policy::paper(/*alpha=*/1.0, /*c=*/1);
+      p.beta_cap = 64;  // keep the class count simulatable (as in the tests)
+      return p;
+    }
+  }
+  return Policy::practical();
+}
+
+std::string Scenario::name() const {
+  std::string out = family_name(family);
+  out += '/';
+  out += std::to_string(size);
+  out += '/';
+  out += flavor_name(lists);
+  out += '/';
+  out += policy_name(policy);
+  out += "/s";
+  out += std::to_string(seed);
+  if (aux != 0) {
+    out += "/a";
+    out += std::to_string(aux);
+  }
+  return out;
+}
+
+ListEdgeColoringInstance build_instance(const Scenario& scenario) {
+  const std::uint64_t seed = scenario.seed;
+  Graph g = make_family_graph(scenario.family, scenario.size, seed, scenario.aux)
+                .with_scrambled_ids(static_cast<std::uint64_t>(std::max(1, scenario.size)) *
+                                        std::max(1, scenario.size) * 4,
+                                    seed + 1);
+  switch (scenario.lists) {
+    case ListFlavor::kTwoDelta:
+      return make_two_delta_instance(std::move(g));
+    case ListFlavor::kRandomDegPlusOne: {
+      const Color C = 2 * (g.max_edge_degree() + 1);
+      return make_random_list_instance(std::move(g), C, seed + 2);
+    }
+    case ListFlavor::kClustered: {
+      const Color C = 4 * (g.max_edge_degree() + 2);
+      const int window = g.max_edge_degree() + 2;
+      return make_clustered_list_instance(std::move(g), C, window, seed + 3);
+    }
+  }
+  return {};
+}
+
+std::vector<Scenario> default_manifest(std::uint64_t seed) {
+  using F = GraphFamily;
+  using L = ListFlavor;
+  std::vector<Scenario> out;
+  const auto add = [&](F family, int size, L lists, int aux = 0) {
+    out.push_back(Scenario{family, size, lists, PolicyKind::kPractical, seed, aux});
+  };
+  // The solver-test enumeration (tests/test_solver.cpp).
+  add(F::kCycle, 31, L::kTwoDelta);
+  add(F::kCycle, 64, L::kRandomDegPlusOne);
+  add(F::kPath, 50, L::kTwoDelta);
+  add(F::kPath, 40, L::kClustered);
+  add(F::kComplete, 12, L::kTwoDelta);
+  add(F::kComplete, 16, L::kRandomDegPlusOne);
+  add(F::kBipartite, 14, L::kTwoDelta);
+  add(F::kBipartite, 18, L::kClustered);
+  add(F::kRegular, 40, L::kTwoDelta);
+  add(F::kRegular, 60, L::kRandomDegPlusOne);
+  add(F::kGnp, 60, L::kTwoDelta);
+  add(F::kGnp, 80, L::kRandomDegPlusOne);
+  add(F::kHypercube, 5, L::kTwoDelta);
+  add(F::kHypercube, 4, L::kClustered);
+  add(F::kTree, 70, L::kTwoDelta);
+  add(F::kTree, 90, L::kRandomDegPlusOne);
+  add(F::kPowerLaw, 80, L::kTwoDelta);
+  add(F::kPowerLaw, 100, L::kRandomDegPlusOne);
+  add(F::kTorus, 6, L::kTwoDelta);
+  add(F::kTorus, 7, L::kRandomDegPlusOne);
+  // Larger members so the batch has real per-instance cost spread.
+  add(F::kRegular, 256, L::kTwoDelta, 8);
+  add(F::kRegular, 512, L::kTwoDelta, 8);
+  add(F::kRegular, 256, L::kRandomDegPlusOne, 12);
+  add(F::kGnp, 400, L::kTwoDelta, 8);
+  add(F::kPowerLaw, 400, L::kTwoDelta, 16);
+  add(F::kGrid, 12, L::kTwoDelta);
+  add(F::kStar, 48, L::kTwoDelta);
+  // Paper-policy spot checks on small complete graphs (as in the tests).
+  for (int k : {8, 10, 12}) {
+    out.push_back(Scenario{F::kComplete, k, L::kTwoDelta, PolicyKind::kPaper, seed});
+  }
+  return out;
+}
+
+std::vector<Scenario> small_default_manifest(std::uint64_t seed) {
+  std::vector<Scenario> out;
+  for (const Scenario& s : default_manifest(seed)) {
+    if (s.size <= 100) out.push_back(s);
+  }
+  return out;
+}
+
+bool parse_scenario_line(std::string_view line, Scenario* out) {
+  const auto hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::istringstream in{std::string(line)};
+  std::string family, flavor, policy;
+  if (!(in >> family)) return false;  // blank or comment-only line
+  Scenario s;
+  s.family = parse_family(family);
+  if (!(in >> s.size >> flavor >> policy)) {
+    throw std::invalid_argument("manifest line needs '<family> <size> <flavor> <policy>': " +
+                                std::string(line));
+  }
+  s.lists = parse_flavor(flavor);
+  s.policy = parse_policy(policy);
+  // Optional trailing fields; present-but-malformed is an error, not a
+  // silent fallback to the defaults.
+  if (std::string tok; in >> tok) {
+    try {
+      std::size_t used = 0;
+      s.seed = std::stoull(tok, &used);
+      if (used != tok.size()) throw std::invalid_argument(tok);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad seed '" + tok + "' in manifest line: " +
+                                  std::string(line));
+    }
+  }
+  if (std::string tok; in >> tok) {
+    try {
+      std::size_t used = 0;
+      s.aux = std::stoi(tok, &used);
+      if (used != tok.size()) throw std::invalid_argument(tok);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad aux '" + tok + "' in manifest line: " +
+                                  std::string(line));
+    }
+  }
+  if (std::string tok; in >> tok) {
+    throw std::invalid_argument("trailing token '" + tok + "' in manifest line: " +
+                                std::string(line));
+  }
+  *out = s;
+  return true;
+}
+
+std::vector<Scenario> parse_manifest(std::istream& in) {
+  std::vector<Scenario> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    Scenario s;
+    if (parse_scenario_line(line, &s)) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace qplec

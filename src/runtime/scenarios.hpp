@@ -1,0 +1,81 @@
+// Scenario manifests for the batch runtime.
+//
+// A Scenario names one solvable instance declaratively: graph family x size
+// x list flavor x parameter policy (plus a seed), the axes the test suite in
+// tests/test_solver.cpp already enumerates.  Scenarios are plain data so a
+// manifest can live in a text file, be swept by the batch runtime, and be
+// reproduced bit-for-bit anywhere: building the instance is a pure function
+// of the scenario fields.
+//
+// Manifest text format, one scenario per line (# starts a comment):
+//   <family> <size> <flavor> <policy> [seed [aux]]
+// e.g. "regular 512 two_delta practical 42 8".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/coloring/problem.hpp"
+#include "src/core/policy.hpp"
+#include "src/graph/generators.hpp"
+
+namespace qplec {
+
+/// How the color lists of an instance are generated from the graph.
+enum class ListFlavor {
+  kTwoDelta,          ///< uniform palette {0..2*Dbar}: classic edge coloring
+  kRandomDegPlusOne,  ///< random (deg+1)-lists from a 2*(Dbar+1) palette
+  kClustered,         ///< adversarially overlapping lists (hard regime)
+};
+
+const char* flavor_name(ListFlavor flavor);
+ListFlavor parse_flavor(std::string_view name);
+
+/// Named parameter policy (scenarios carry the name, not the Policy object,
+/// so manifests stay plain text).
+enum class PolicyKind {
+  kPractical,  ///< Policy::practical()
+  kPaper,      ///< Policy::paper() with beta capped to stay simulatable
+};
+
+const char* policy_name(PolicyKind kind);
+PolicyKind parse_policy(std::string_view name);
+Policy make_policy(PolicyKind kind);
+
+struct Scenario {
+  GraphFamily family = GraphFamily::kCycle;
+  int size = 0;
+  ListFlavor lists = ListFlavor::kTwoDelta;
+  PolicyKind policy = PolicyKind::kPractical;
+  std::uint64_t seed = 42;
+  int aux = 0;  ///< family-specific knob (e.g. degree for `regular`); 0 = default
+
+  /// "regular/512/two_delta/practical/s42[/a8]" — stable display + JSON key.
+  std::string name() const;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Builds the instance a scenario describes (scrambled LOCAL ids included),
+/// exactly as tests/test_solver.cpp builds its cases.
+ListEdgeColoringInstance build_instance(const Scenario& scenario);
+
+/// The standard sweep: every solver-test case (family x size x flavor) under
+/// the practical policy, plus a few paper-policy spot checks — the manifest
+/// batch_solve runs when none is given.
+std::vector<Scenario> default_manifest(std::uint64_t seed = 42);
+
+/// The small members of default_manifest (size <= 100): the sweep the test
+/// suites run, where per-case latency matters more than instance scale.
+std::vector<Scenario> small_default_manifest(std::uint64_t seed = 42);
+
+/// Parses one manifest line; returns false for blank / comment lines.
+/// Throws std::invalid_argument on malformed input.
+bool parse_scenario_line(std::string_view line, Scenario* out);
+
+/// Parses a whole manifest stream (see the file-format comment above).
+std::vector<Scenario> parse_manifest(std::istream& in);
+
+}  // namespace qplec

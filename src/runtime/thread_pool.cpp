@@ -1,0 +1,137 @@
+#include "src/runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace qplec {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    shutdown_ = true;
+  }
+  batch_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_indexed(int num_tasks, const std::function<void(int, int)>& fn) {
+  QPLEC_REQUIRE(num_tasks >= 0);
+  if (num_tasks == 0) return;
+
+  // Seed each worker's deque with a contiguous block of indices.
+  const int n_workers = num_threads();
+  int next = 0;
+  for (int w = 0; w < n_workers; ++w) {
+    const int count = num_tasks / n_workers + (w < num_tasks % n_workers ? 1 : 0);
+    std::lock_guard<std::mutex> lock(queues_[static_cast<std::size_t>(w)]->mu);
+    for (int k = 0; k < count; ++k) {
+      queues_[static_cast<std::size_t>(w)]->tasks.push_back(next++);
+    }
+  }
+  QPLEC_REQUIRE(next == num_tasks);
+
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_fn_ = &fn;
+    tasks_remaining_ = num_tasks;
+    first_error_ = nullptr;
+    ++batch_epoch_;
+  }
+  batch_cv_.notify_all();
+
+  // Wait for both conditions: every task executed AND every worker out of the
+  // batch loop — otherwise a lingering worker could observe the next batch's
+  // queues while holding a dangling pointer to this batch's fn.
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  done_cv_.wait(lock, [this] { return tasks_remaining_ == 0 && active_workers_ == 0; });
+  batch_fn_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+bool ThreadPool::try_pop_or_steal(int worker_id, int* task) {
+  // Own queue first (front: preserves the block order seeded above).
+  {
+    WorkerQueue& own = *queues_[static_cast<std::size_t>(worker_id)];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal half the back of the fullest victim.
+  const int n_workers = num_threads();
+  int victim = -1;
+  std::size_t victim_size = 0;
+  for (int w = 0; w < n_workers; ++w) {
+    if (w == worker_id) continue;
+    WorkerQueue& q = *queues_[static_cast<std::size_t>(w)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.size() > victim_size) {
+      victim_size = q.tasks.size();
+      victim = w;
+    }
+  }
+  if (victim < 0) return false;
+  WorkerQueue& own = *queues_[static_cast<std::size_t>(worker_id)];
+  WorkerQueue& q = *queues_[static_cast<std::size_t>(victim)];
+  // Consistent order (lower index first) to avoid lock-order inversion.
+  std::scoped_lock lock(worker_id < victim ? own.mu : q.mu,
+                        worker_id < victim ? q.mu : own.mu);
+  if (q.tasks.empty()) return false;  // raced with the victim
+  const std::size_t grab = (q.tasks.size() + 1) / 2;
+  for (std::size_t k = 0; k < grab - 1; ++k) {
+    own.tasks.push_front(q.tasks.back());
+    q.tasks.pop_back();
+  }
+  *task = q.tasks.back();
+  q.tasks.pop_back();
+  return true;
+}
+
+void ThreadPool::worker_loop(int worker_id) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(int, int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(batch_mu_);
+      batch_cv_.wait(lock, [&] {
+        return shutdown_ || (batch_fn_ != nullptr && batch_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = batch_epoch_;
+      fn = batch_fn_;
+      ++active_workers_;
+    }
+    int task = -1;
+    while (try_pop_or_steal(worker_id, &task)) {
+      try {
+        (*fn)(worker_id, task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      --tasks_remaining_;
+    }
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (--active_workers_ == 0 && tasks_remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace qplec

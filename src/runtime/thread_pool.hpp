@@ -1,0 +1,67 @@
+// Fixed-size thread pool with per-worker work-stealing deques.
+//
+// Built for the batch runtime's shape of parallelism: a known list of
+// independent tasks with wildly different costs (a 12-node complete graph
+// next to a 512-node regular sweep point).  Each worker owns a deque seeded
+// with a contiguous block of task indices; it pops from its own front and,
+// when empty, steals the back half of the largest remaining deque.  Initial
+// blocks keep cache locality, stealing keeps the tail of a skewed batch from
+// serializing on one worker.
+//
+// Determinism: the pool schedules *which worker* runs a task, never *what*
+// the task computes — tasks must derive all randomness from their index
+// (the batch solver seeds per-instance RNG streams from the scenario, not
+// the worker), so results are bit-identical for any worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qplec {
+
+class ThreadPool {
+ public:
+  /// num_threads <= 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(worker_id, task_index) for every task_index in [0, num_tasks),
+  /// each exactly once, and blocks until all have finished.  Exceptions
+  /// thrown by fn are captured and the first one is rethrown here.
+  void run_indexed(int num_tasks, const std::function<void(int, int)>& fn);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<int> tasks;  // indices into the current batch
+  };
+
+  void worker_loop(int worker_id);
+  bool try_pop_or_steal(int worker_id, int* task);
+
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;   // wakes workers when a batch arrives
+  std::condition_variable done_cv_;    // wakes run_indexed when a batch drains
+  const std::function<void(int, int)>* batch_fn_ = nullptr;
+  std::uint64_t batch_epoch_ = 0;
+  int tasks_remaining_ = 0;
+  int active_workers_ = 0;  // workers inside the current batch's inner loop
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace qplec

@@ -1,0 +1,133 @@
+// The batch runtime's contract: sharding is invisible (bit-identical results
+// for any worker count) and every returned coloring is valid.
+#include "src/runtime/batch_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/coloring/validate.hpp"
+#include "src/runtime/scenarios.hpp"
+
+namespace qplec {
+namespace {
+
+TEST(BatchSolver, DeterministicAcrossWorkerCounts) {
+  const auto manifest = small_default_manifest();
+  std::vector<BatchReport> reports;
+  for (const int threads : {1, 2, 8}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    options.keep_colors = true;
+    reports.push_back(BatchSolver(options).run(manifest));
+    EXPECT_EQ(reports.back().num_threads, threads);
+  }
+  const BatchReport& base = reports.front();
+  ASSERT_EQ(base.results.size(), manifest.size());
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    ASSERT_EQ(reports[r].results.size(), base.results.size());
+    for (std::size_t i = 0; i < base.results.size(); ++i) {
+      const ScenarioResult& a = base.results[i];
+      const ScenarioResult& b = reports[r].results[i];
+      EXPECT_EQ(a.scenario, b.scenario);
+      EXPECT_EQ(a.colors, b.colors) << a.scenario.name();
+      EXPECT_EQ(a.colors_hash, b.colors_hash) << a.scenario.name();
+      EXPECT_EQ(a.rounds, b.rounds) << a.scenario.name();
+      EXPECT_EQ(a.raw_rounds, b.raw_rounds) << a.scenario.name();
+    }
+  }
+}
+
+TEST(BatchSolver, EveryColoringValidates) {
+  BatchOptions options;
+  options.num_threads = 4;
+  options.keep_colors = true;
+  const BatchReport report = BatchSolver(options).run(small_default_manifest());
+  for (const ScenarioResult& r : report.results) {
+    EXPECT_TRUE(r.valid) << r.scenario.name();
+    // Re-validate independently of the runtime's own check.
+    const auto instance = build_instance(r.scenario);
+    EXPECT_TRUE(is_valid_list_coloring(instance, r.colors)) << r.scenario.name();
+    EXPECT_EQ(hash_coloring(r.colors), r.colors_hash);
+    EXPECT_EQ(r.num_edges, instance.graph.num_edges());
+    EXPECT_GE(r.rounds, 1);
+  }
+}
+
+TEST(BatchSolver, ResultsAlignWithManifestOrder) {
+  const auto manifest = small_default_manifest();
+  const BatchReport report = BatchSolver().run(manifest);
+  ASSERT_EQ(report.results.size(), manifest.size());
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    EXPECT_EQ(report.results[i].scenario, manifest[i]);
+  }
+  EXPECT_GT(report.total_edges, 0);
+  EXPECT_GT(report.wall_ms, 0.0);
+}
+
+TEST(BatchSolver, EmptyManifest) {
+  const BatchReport report = BatchSolver().run({});
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_EQ(report.total_edges, 0);
+}
+
+TEST(Scenarios, NameIsStable) {
+  const Scenario s{GraphFamily::kRegular, 512, ListFlavor::kTwoDelta,
+                   PolicyKind::kPractical, 42, 8};
+  EXPECT_EQ(s.name(), "regular/512/two_delta/practical/s42/a8");
+}
+
+TEST(Scenarios, ManifestRoundTrip) {
+  std::istringstream in(
+      "# comment line\n"
+      "regular 512 two_delta practical 42 8\n"
+      "\n"
+      "complete 12 random_lists paper\n"
+      "gnp 80 clustered practical 7\n");
+  const auto scenarios = parse_manifest(in);
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0],
+            (Scenario{GraphFamily::kRegular, 512, ListFlavor::kTwoDelta,
+                      PolicyKind::kPractical, 42, 8}));
+  EXPECT_EQ(scenarios[1].policy, PolicyKind::kPaper);
+  EXPECT_EQ(scenarios[1].seed, 42u);  // default seed
+  EXPECT_EQ(scenarios[2].seed, 7u);
+  EXPECT_EQ(scenarios[2].lists, ListFlavor::kClustered);
+}
+
+TEST(Scenarios, ParseRejectsMalformedLines) {
+  Scenario s;
+  EXPECT_FALSE(parse_scenario_line("", &s));
+  EXPECT_FALSE(parse_scenario_line("   # just a comment", &s));
+  EXPECT_THROW(parse_scenario_line("regular", &s), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_line("nosuch 12 two_delta practical", &s),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_line("regular 12 nosuch practical", &s),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_line("regular 12 two_delta nosuch", &s),
+               std::invalid_argument);
+  // Optional fields must parse fully when present — no silent defaults.
+  EXPECT_THROW(parse_scenario_line("regular 12 two_delta practical 4x2", &s),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_line("regular 12 two_delta practical 42 eight", &s),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_line("regular 12 two_delta practical 42 8 extra", &s),
+               std::invalid_argument);
+}
+
+TEST(Scenarios, BuildInstanceMatchesFlavor) {
+  const Scenario uniform{GraphFamily::kComplete, 12, ListFlavor::kTwoDelta,
+                         PolicyKind::kPractical, 42, 0};
+  const auto inst = build_instance(uniform);
+  EXPECT_EQ(inst.palette_size, 2 * inst.graph.max_degree() - 1);
+  const Scenario lists{GraphFamily::kComplete, 12, ListFlavor::kRandomDegPlusOne,
+                       PolicyKind::kPractical, 42, 0};
+  const auto inst2 = build_instance(lists);
+  for (EdgeId e = 0; e < inst2.graph.num_edges(); ++e) {
+    EXPECT_GE(inst2.lists[static_cast<std::size_t>(e)].size(),
+              inst2.graph.edge_degree(e) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace qplec

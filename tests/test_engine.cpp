@@ -53,7 +53,9 @@ TEST(Engine, FloodLearnsMaxWithinDiameterRounds) {
   std::vector<std::uint64_t> results(10, 0);
   Engine engine(g);
   const auto stats = engine.run(
-      [&](NodeId v) { return std::make_unique<MaxFlood>(9, &results[static_cast<std::size_t>(v)]); },
+      [&](NodeId v) {
+        return std::make_unique<MaxFlood>(9, &results[static_cast<std::size_t>(v)]);
+      },
       1000);
   EXPECT_EQ(stats.rounds, 9);
   for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(results[static_cast<std::size_t>(v)], global_max);
@@ -66,7 +68,9 @@ TEST(Engine, InformationRespectsLocality) {
   std::vector<std::uint64_t> results(10, 0);
   Engine engine(g);
   engine.run(
-      [&](NodeId v) { return std::make_unique<MaxFlood>(4, &results[static_cast<std::size_t>(v)]); },
+      [&](NodeId v) {
+        return std::make_unique<MaxFlood>(4, &results[static_cast<std::size_t>(v)]);
+      },
       1000);
   EXPECT_LT(results[0], 10u);   // node 0 is 9 hops from the max
   EXPECT_EQ(results[9], 10u);   // the max itself
@@ -79,7 +83,9 @@ TEST(Engine, MessageStatsCounted) {
   std::vector<std::uint64_t> results(6, 0);
   Engine engine(g);
   const auto stats = engine.run(
-      [&](NodeId v) { return std::make_unique<MaxFlood>(2, &results[static_cast<std::size_t>(v)]); },
+      [&](NodeId v) {
+        return std::make_unique<MaxFlood>(2, &results[static_cast<std::size_t>(v)]);
+      },
       1000);
   // init + round1 broadcasts: 2 sends per node per wave, 6 nodes, 2 waves.
   EXPECT_EQ(stats.rounds, 2);

@@ -8,102 +8,38 @@
 #include "src/coloring/validate.hpp"
 #include "src/graph/builder.hpp"
 #include "src/graph/generators.hpp"
+#include "src/runtime/scenarios.hpp"
 
 namespace qplec {
 namespace {
 
-enum class Family { kCycle, kPathG, kComplete, kBipartite, kRegular, kGnp, kHypercube, kTree, kPowerLaw, kTorus };
-enum class Lists { kTwoDelta, kRandomDegPlusOne, kClustered };
+// The family x size x flavor enumeration lives in src/runtime/scenarios.hpp
+// (shared with the batch runtime and the benches); this suite sweeps the
+// same default manifest the batch_solve CLI runs.
 
-struct SolverCase {
-  Family family;
-  int size;
-  Lists lists;
-};
-
-Graph build_graph(Family family, int size, std::uint64_t seed) {
-  switch (family) {
-    case Family::kCycle:
-      return make_cycle(size);
-    case Family::kPathG:
-      return make_path(size);
-    case Family::kComplete:
-      return make_complete(size);
-    case Family::kBipartite:
-      return make_complete_bipartite(size / 2, size - size / 2);
-    case Family::kRegular:
-      return make_random_regular(size, std::min(size - 1, 8) / 2 * 2, seed);
-    case Family::kGnp:
-      return make_gnp(size, 6.0 / size, seed);
-    case Family::kHypercube:
-      return make_hypercube(size);
-    case Family::kTree:
-      return make_random_tree(size, seed);
-    case Family::kPowerLaw:
-      return make_power_law(size, 2.5, 12.0, seed);
-    case Family::kTorus:
-      return make_torus(size, size + 1);
-  }
-  return Graph();
-}
-
-ListEdgeColoringInstance build_instance(const SolverCase& c, std::uint64_t seed) {
-  Graph g = build_graph(c.family, c.size, seed)
-                .with_scrambled_ids(static_cast<std::uint64_t>(
-                                        std::max(1, c.size)) *
-                                        std::max(1, c.size) * 4,
-                                    seed + 1);
-  switch (c.lists) {
-    case Lists::kTwoDelta:
-      return make_two_delta_instance(std::move(g));
-    case Lists::kRandomDegPlusOne: {
-      const Color C = 2 * (g.max_edge_degree() + 1);
-      return make_random_list_instance(std::move(g), C, seed + 2);
-    }
-    case Lists::kClustered: {
-      const Color C = 4 * (g.max_edge_degree() + 2);
-      const int window = g.max_edge_degree() + 2;
-      return make_clustered_list_instance(std::move(g), C, window, seed + 3);
-    }
-  }
-  return {};
-}
-
-class SolverFamilyTest : public ::testing::TestWithParam<SolverCase> {};
+class SolverFamilyTest : public ::testing::TestWithParam<Scenario> {};
 
 TEST_P(SolverFamilyTest, ProducesValidListColoring) {
-  const auto instance = build_instance(GetParam(), 42);
+  const auto instance = build_instance(GetParam());
   if (instance.graph.num_edges() == 0) return;
-  const Solver solver(Policy::practical());
+  const Solver solver(make_policy(GetParam().policy));
   const SolveResult res = solver.solve(instance);
   EXPECT_TRUE(is_valid_list_coloring(instance, res.colors));
   EXPECT_GE(res.rounds, 1);
   EXPECT_LE(res.rounds, res.raw_rounds);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Families, SolverFamilyTest,
-    ::testing::Values(
-        SolverCase{Family::kCycle, 31, Lists::kTwoDelta},
-        SolverCase{Family::kCycle, 64, Lists::kRandomDegPlusOne},
-        SolverCase{Family::kPathG, 50, Lists::kTwoDelta},
-        SolverCase{Family::kPathG, 40, Lists::kClustered},
-        SolverCase{Family::kComplete, 12, Lists::kTwoDelta},
-        SolverCase{Family::kComplete, 16, Lists::kRandomDegPlusOne},
-        SolverCase{Family::kBipartite, 14, Lists::kTwoDelta},
-        SolverCase{Family::kBipartite, 18, Lists::kClustered},
-        SolverCase{Family::kRegular, 40, Lists::kTwoDelta},
-        SolverCase{Family::kRegular, 60, Lists::kRandomDegPlusOne},
-        SolverCase{Family::kGnp, 60, Lists::kTwoDelta},
-        SolverCase{Family::kGnp, 80, Lists::kRandomDegPlusOne},
-        SolverCase{Family::kHypercube, 5, Lists::kTwoDelta},
-        SolverCase{Family::kHypercube, 4, Lists::kClustered},
-        SolverCase{Family::kTree, 70, Lists::kTwoDelta},
-        SolverCase{Family::kTree, 90, Lists::kRandomDegPlusOne},
-        SolverCase{Family::kPowerLaw, 80, Lists::kTwoDelta},
-        SolverCase{Family::kPowerLaw, 100, Lists::kRandomDegPlusOne},
-        SolverCase{Family::kTorus, 6, Lists::kTwoDelta},
-        SolverCase{Family::kTorus, 7, Lists::kRandomDegPlusOne}));
+// The large manifest members are covered by test_batch_solver and the
+// benches; this suite sweeps the small ones only to keep per-case latency low.
+INSTANTIATE_TEST_SUITE_P(Families, SolverFamilyTest,
+                         ::testing::ValuesIn(small_default_manifest()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           std::string name = info.param.name();
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
 
 TEST(Solver, EmptyAndTinyGraphs) {
   const Solver solver;

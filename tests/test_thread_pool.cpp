@@ -1,0 +1,87 @@
+// The work-stealing pool's contract: every task runs exactly once, batches
+// can be reused back-to-back, and exceptions surface to the caller.
+#include "src/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qplec {
+namespace {
+
+std::atomic<std::int64_t> benchmark_sink{0};  // defeats dead-code elimination
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    const int n = 177;
+    std::vector<std::atomic<int>> hits(n);
+    pool.run_indexed(n, [&](int, int task) { ++hits[static_cast<std::size_t>(task)]; });
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.run_indexed(64, [&](int worker, int) {
+    if (worker < 0 || worker >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, BatchesAreReusable) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.run_indexed(50, [&](int, int task) { sum += task; });
+  }
+  EXPECT_EQ(sum.load(), 20 * (49 * 50 / 2));
+}
+
+TEST(ThreadPool, SkewedTasksAllComplete) {
+  // One task is vastly more expensive than the rest; stealing must keep the
+  // cheap tail from waiting behind it on the same worker.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.run_indexed(40, [&](int, int task) {
+    std::int64_t acc = 0;
+    const int spins = task == 0 ? 2'000'000 : 1'000;
+    for (int i = 0; i < spins; ++i) acc += i;
+    benchmark_sink.fetch_add(acc, std::memory_order_relaxed);
+    ++done;
+  });
+  EXPECT_EQ(done.load(), 40);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_indexed(10,
+                                [&](int, int task) {
+                                  if (task == 7) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool stays usable after a throwing batch.
+  std::atomic<int> done{0};
+  pool.run_indexed(5, [&](int, int) { ++done; });
+  EXPECT_EQ(done.load(), 5);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.run_indexed(0, [&](int, int) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace qplec
