@@ -1,13 +1,17 @@
 // qplec batch runtime CLI: solve a manifest of scenarios in parallel.
 //
 //   usage: batch_solve [--threads N] [--manifest file] [--out BENCH_batch.json]
-//                      [--seed N] [--quiet]
+//                      [--seed N] [--quiet] [--shards N] [--sharded-min-edges M]
 //
 // Without --manifest, runs the default sweep (every solver-test scenario
 // plus larger regulars — see default_manifest).  Prints a per-scenario table
 // to stdout and writes the machine-readable report to --out (default
 // BENCH_batch.json; "-" disables).  Exit status is non-zero if any scenario
 // produced an invalid coloring.
+//
+// --shards N routes every instance with at least --sharded-min-edges edges
+// (default 20000) to the intra-instance sharded executor (src/dist), keeping
+// the rest on the serial per-worker path; results are identical either way.
 //
 // Manifest format, one scenario per line ('#' comments):
 //   <family> <size> <flavor> <policy> [seed [aux]]
@@ -27,7 +31,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: batch_solve [--threads N] [--manifest file] "
-               "[--out BENCH_batch.json] [--seed N] [--quiet]\n");
+               "[--out BENCH_batch.json] [--seed N] [--quiet] "
+               "[--shards N] [--sharded-min-edges M]\n");
   return 2;
 }
 
@@ -37,6 +42,8 @@ int main(int argc, char** argv) {
   using namespace qplec;
 
   int threads = 0;
+  int shards = 1;
+  int sharded_min_edges = -1;
   std::string manifest_path;
   std::string out_path = "BENCH_batch.json";
   std::uint64_t seed = 42;
@@ -45,6 +52,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else if (arg == "--sharded-min-edges" && i + 1 < argc) {
+      sharded_min_edges = std::atoi(argv[++i]);
     } else if (arg == "--manifest" && i + 1 < argc) {
       manifest_path = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
@@ -81,6 +92,8 @@ int main(int argc, char** argv) {
 
   BatchOptions options;
   options.num_threads = threads;
+  options.exec.shards = shards;
+  if (sharded_min_edges >= 0) options.exec.min_sharded_edges = sharded_min_edges;
   const BatchSolver batch(options);
 
   BatchReport report;

@@ -8,13 +8,14 @@
 #include "src/coloring/validate.hpp"
 #include "src/common/log.hpp"
 #include "src/common/math.hpp"
+#include "src/dist/reducer.hpp"
 
 namespace qplec {
 
 SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                            std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                            const Policy& policy, RoundLedger& ledger, SolverStats& stats,
-                           int depth)
+                           int depth, const ExecBackend* exec)
     : g_(g),
       work_(std::move(lists)),
       palette_(palette),
@@ -24,6 +25,7 @@ SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color p
       ledger_(ledger),
       stats_(stats),
       base_depth_(depth),
+      exec_(exec != nullptr ? exec : &serial_backend()),
       final_(static_cast<std::size_t>(g.num_edges()), kUncolored) {
   QPLEC_REQUIRE(work_.size() == static_cast<std::size_t>(g.num_edges()));
   QPLEC_REQUIRE(phi_.size() == static_cast<std::size_t>(g.num_edges()));
@@ -57,7 +59,9 @@ EdgeColoring SolverEngine::solve_relaxed_instance(double slack) {
 
 void SolverEngine::refresh_lists(const EdgeSubset& H) {
   ledger_.charge(1, "refresh-lists");
-  H.for_each([&](EdgeId e) {
+  // Edge-local step: e reads committed neighbor colors, mutates only its own
+  // list — safe for any backend.
+  exec_->for_members(H, [&](int, EdgeId e) {
     g_.for_each_edge_neighbor(e, [&](EdgeId f) {
       const Color cf = final_[static_cast<std::size_t>(f)];
       if (cf != kUncolored) work_[static_cast<std::size_t>(e)].remove(cf);
@@ -65,12 +69,20 @@ void SolverEngine::refresh_lists(const EdgeSubset& H) {
   });
 }
 
+int SolverEngine::max_induced_degree(const EdgeSubset& s) const {
+  DeterministicReducer<int> deg(exec_->lanes(), 0);
+  exec_->for_members(s, [&](int lane, EdgeId e) {
+    deg.lane(lane) = std::max(deg.lane(lane), s.induced_edge_degree(g_, e));
+  });
+  return deg.max();
+}
+
 void SolverEngine::solve_basecase(const EdgeSubset& H) {
   ++stats_.basecase_calls;
   refresh_lists(H);
   const LineGraphConflict view(g_, H);
-  const int d = H.max_induced_edge_degree(g_);
-  H.for_each([&](EdgeId e) {
+  const int d = max_induced_degree(H);
+  exec_->for_members(H, [&](int, EdgeId e) {
     QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
                          H.induced_edge_degree(g_, e) + 1,
                      "base case feasibility violated at edge " << e);
@@ -87,10 +99,10 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
   while (!H.empty()) {
     QPLEC_ASSERT_MSG(++guard <= 64, "no-slack outer loop failed to terminate");
     refresh_lists(H);
-    const int d = H.max_induced_edge_degree(g_);
+    const int d = max_induced_degree(H);
 
     // Paper invariant: the current subgraph is a (deg+1)-list instance.
-    H.for_each([&](EdgeId e) {
+    exec_->for_members(H, [&](int, EdgeId e) {
       QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
                            H.induced_edge_degree(g_, e) + 1,
                        "(deg+1)-list invariant violated at edge " << e);
@@ -107,18 +119,21 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
         defective_edge_coloring(g_, H, beta, phi_, phi_palette_, ledger_);
 
     // Degrees at phase start drive both the activity test and the defect
-    // tightness statistic.
+    // tightness statistic.  The ratio folds through a per-lane max (order-
+    // invariant), everything else is an e-owned write.
     std::vector<int> deg0(static_cast<std::size_t>(g_.num_edges()), 0);
-    H.for_each([&](EdgeId e) {
+    DeterministicReducer<double> defect_ratio(exec_->lanes(), stats_.max_defect_ratio);
+    exec_->for_members(H, [&](int lane, EdgeId e) {
       deg0[static_cast<std::size_t>(e)] = H.induced_edge_degree(g_, e);
       const int defect = edge_defect(g_, H, dc.cls, e);
       if (defect > 0) {
         const double bound = static_cast<double>(deg0[static_cast<std::size_t>(e)]) /
                              (2.0 * static_cast<double>(beta));
-        stats_.max_defect_ratio =
-            std::max(stats_.max_defect_ratio, static_cast<double>(defect) / bound);
+        defect_ratio.lane(lane) =
+            std::max(defect_ratio.lane(lane), static_cast<double>(defect) / bound);
       }
     });
+    stats_.max_defect_ratio = defect_ratio.max();
 
     std::vector<std::vector<EdgeId>> buckets(static_cast<std::size_t>(dc.num_classes));
     H.for_each([&](EdgeId e) {
@@ -138,20 +153,30 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
       ++stats_.classes_nonempty;
       auto scope = ledger_.sequential("defective-class");
       // Marking round: remove used neighbor colors, test |L_e| > deg(e)/2.
+      // The pruning is e-local; the activity verdicts land in per-edge flags
+      // and the subset is built serially from them (identical membership for
+      // any lane layout).
       ledger_.charge(1, "mark-active");
-      EdgeSubset active(g_.num_edges());
-      for (EdgeId e : bucket) {
+      std::vector<std::uint8_t> is_active(bucket.size(), 0);
+      exec_->for_indices(static_cast<int>(bucket.size()), [&](int, int t) {
+        const EdgeId e = bucket[static_cast<std::size_t>(t)];
         auto& list = work_[static_cast<std::size_t>(e)];
         g_.for_each_edge_neighbor(e, [&](EdgeId f) {
           const Color cf = final_[static_cast<std::size_t>(f)];
           if (cf != kUncolored) list.remove(cf);
         });
-        if (2 * list.size() > deg0[static_cast<std::size_t>(e)]) active.insert(e);
+        if (2 * list.size() > deg0[static_cast<std::size_t>(e)]) {
+          is_active[static_cast<std::size_t>(t)] = 1;
+        }
+      });
+      EdgeSubset active(g_.num_edges());
+      for (std::size_t t = 0; t < bucket.size(); ++t) {
+        if (is_active[t]) active.insert(bucket[t]);
       }
       if (!active.empty()) {
         // Slack guarantee of Lemma 4.2 (asserted): within the active class
         // subgraph, |L_e| > beta * deg'(e).
-        active.for_each([&](EdgeId e) {
+        exec_->for_members(active, [&](int, EdgeId e) {
           const int dprime = active.induced_edge_degree(g_, e);
           QPLEC_ASSERT_MSG(
               work_[static_cast<std::size_t>(e)].size() >
@@ -170,7 +195,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
       if (final_[static_cast<std::size_t>(e)] == kUncolored) next.insert(e);
     });
     if (!next.empty()) {
-      const int nd = next.max_induced_edge_degree(g_);
+      const int nd = max_induced_degree(next);
       QPLEC_ASSERT_MSG(2 * nd <= d, "degree halving violated: " << d << " -> " << nd);
     }
     H = std::move(next);
@@ -182,11 +207,11 @@ void SolverEngine::solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi,
   if (A.empty()) return;
   QPLEC_REQUIRE(slack >= 1.0);
 
-  const int d = A.max_induced_edge_degree(g_);
+  const int d = max_induced_degree(A);
 
   // Entry invariant of P(dbar, S, C): |L_e| > slack * deg_A(e), lists within
   // [lo, hi).
-  A.for_each([&](EdgeId e) {
+  exec_->for_members(A, [&](int, EdgeId e) {
     const auto& list = work_[static_cast<std::size_t>(e)];
     QPLEC_ASSERT(!list.empty());
     QPLEC_ASSERT(list.colors().front() >= lo && list.colors().back() < hi);
@@ -199,7 +224,7 @@ void SolverEngine::solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi,
     // Independent edges: everyone picks its smallest remaining color.
     ++stats_.trivial_picks;
     ledger_.charge(1, "trivial-pick");
-    A.for_each([&](EdgeId e) {
+    exec_->for_members(A, [&](int, EdgeId e) {
       final_[static_cast<std::size_t>(e)] = work_[static_cast<std::size_t>(e)].min();
     });
     return;

@@ -29,6 +29,7 @@
 #include "src/coloring/palette.hpp"
 #include "src/coloring/problem.hpp"
 #include "src/core/policy.hpp"
+#include "src/dist/backend.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/subset.hpp"
 #include "src/local/ledger.hpp"
@@ -60,9 +61,13 @@ class SolverEngine {
  public:
   /// lists: working lists (consumed); palette: colors lie in [0, palette);
   /// phi/phi_palette: proper edge coloring of g seeding the primitives.
+  /// exec: execution backend for the per-round edge steps (null = serial);
+  /// the backend must shard this g.  Children created by the recursion run
+  /// serial: their virtual graphs are orders of magnitude smaller.
   SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
-               const Policy& policy, RoundLedger& ledger, SolverStats& stats, int depth);
+               const Policy& policy, RoundLedger& ledger, SolverStats& stats, int depth,
+               const ExecBackend* exec = nullptr);
 
   /// Colors every edge; the result is proper (asserted) and each edge's
   /// color comes from the list the engine was given.
@@ -101,6 +106,10 @@ class SolverEngine {
   // of its (whole-graph) neighbors from its working list.
   void refresh_lists(const EdgeSubset& H);
 
+  // max_induced_edge_degree(s) computed through the execution backend (a
+  // shard-parallel max reduction on the sharded path).
+  int max_induced_degree(const EdgeSubset& s) const;
+
   void note_depth(int depth);
 
   const Graph& g_;
@@ -112,6 +121,7 @@ class SolverEngine {
   RoundLedger& ledger_;
   SolverStats& stats_;
   int base_depth_;
+  const ExecBackend* exec_;  ///< never null; serial_backend() by default
   EdgeColoring final_;
 };
 

@@ -38,6 +38,15 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) 
 
   RoundLedger ledger;
 
+  // Execution-backend selection: large instances fan each round out over
+  // edge shards (src/dist); everything else keeps the seed's serial path.
+  std::unique_ptr<ShardedExecution> sharded;
+  const ExecBackend* exec = nullptr;
+  if (exec_.wants_sharding(g.num_edges())) {
+    sharded = std::make_unique<ShardedExecution>(g, exec_);
+    exec = &sharded->backend();
+  }
+
   // Phase 0: maintained helper coloring phi — O(log* n) rounds.
   const InitialColoring init = initial_edge_coloring_from_ids(g);
   const EdgeSubset all = EdgeSubset::all(g);
@@ -52,7 +61,7 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) 
 
   // Phases 1+: the Section 4 recursion.
   SolverEngine engine(g, instance.lists, instance.palette_size, std::move(lin.colors),
-                      lin.palette, policy_, ledger, res.stats, 0);
+                      lin.palette, policy_, ledger, res.stats, 0, exec);
   {
     auto scope = ledger.sequential("list-edge-coloring");
     res.colors = slack > 1.0 ? engine.solve_relaxed_instance(slack) : engine.solve();

@@ -16,6 +16,7 @@
 #include "src/coloring/problem.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/policy.hpp"
+#include "src/dist/backend.hpp"
 
 namespace qplec {
 
@@ -31,9 +32,15 @@ struct SolveResult {
 
 class Solver {
  public:
-  explicit Solver(Policy policy = Policy::practical()) : policy_(std::move(policy)) {}
+  /// exec selects the execution backend: the default runs the seed's serial
+  /// path; ExecOptions{.shards = S} simulates the instance's rounds S-way
+  /// parallel (src/dist) once the graph crosses exec.min_sharded_edges.
+  /// Results are bit-identical across backends and shard counts.
+  explicit Solver(Policy policy = Policy::practical(), ExecOptions exec = {})
+      : policy_(std::move(policy)), exec_(exec) {}
 
   const Policy& policy() const { return policy_; }
+  const ExecOptions& exec_options() const { return exec_; }
 
   /// Solves the instance; throws InvariantViolation if any internal
   /// guarantee fails and returns a solution validated against `instance`.
@@ -49,6 +56,7 @@ class Solver {
   SolveResult run(const ListEdgeColoringInstance& instance, double slack) const;
 
   Policy policy_;
+  ExecOptions exec_;
 };
 
 }  // namespace qplec

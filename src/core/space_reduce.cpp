@@ -23,6 +23,7 @@
 #include "src/core/engine.hpp"
 #include "src/core/lemma44.hpp"
 #include "src/common/math.hpp"
+#include "src/dist/reducer.hpp"
 #include "src/graph/builder.hpp"
 
 namespace qplec {
@@ -37,12 +38,13 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
   const double logp = std::log2(static_cast<double>(p));
   const std::size_t m = static_cast<std::size_t>(g_.num_edges());
 
-  // Per-edge level data (local computation: every edge knows its own list).
+  // Per-edge level data (local computation: every edge knows its own list —
+  // and writes only its own slots, so the step runs on any backend).
   std::vector<std::vector<int>> sizes(m);
   std::vector<int> level(m, -1);
   std::vector<int> deg_A(m, 0);
   std::vector<int> list_size(m, 0);
-  A.for_each([&](EdgeId e) {
+  exec_->for_members(A, [&](int, EdgeId e) {
     const std::size_t i = static_cast<std::size_t>(e);
     sizes[i] = intersection_sizes(work_[i], lo, partition);
     list_size[i] = work_[i].size();
@@ -54,7 +56,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
 
   // --- Levels <= 3: argmax intersection, one announcement round. ---
   ledger_.charge(1, "space-low-assign");
-  A.for_each([&](EdgeId e) {
+  exec_->for_members(A, [&](int, EdgeId e) {
     const std::size_t i = static_cast<std::size_t>(e);
     if (level[i] > 3) return;
     part_of[i] = static_cast<int>(
@@ -114,9 +116,11 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     ++stats_.phases_executed;
     ledger_.charge(1, "space-phase-je");
 
-    // Candidate sets J_e.
+    // Candidate sets J_e.  part_of is frozen during this step (phase
+    // assignments land only after the child solve), so the reads are safe.
     std::vector<ColorList> cand(e1.size());
-    for (std::size_t t = 0; t < e1.size(); ++t) {
+    exec_->for_indices(static_cast<int>(e1.size()), [&](int, int ti) {
+      const std::size_t t = static_cast<std::size_t>(ti);
       const EdgeId e = e1[t];
       const std::size_t i = static_cast<std::size_t>(e);
       const std::vector<int> cnt = assigned_counts(e);
@@ -137,7 +141,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
                            << e << " (got " << je.size() << ", need " << (1 << (l - 1))
                            << ")");
       cand[t] = ColorList(std::move(je));
-    }
+    });
 
     // Virtual graph: every node splits its phase edges into groups of size
     // at most 2^(l-2); each group becomes one virtual node.
@@ -183,7 +187,8 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     // Candidates: parts with a big intersection, minus parts taken by any
     // already-assigned neighbor (so E(2) edges end conflict-free).
     std::vector<ColorList> cand(e2.size());
-    for (std::size_t t = 0; t < e2.size(); ++t) {
+    exec_->for_indices(static_cast<int>(e2.size()), [&](int, int ti) {
+      const std::size_t t = static_cast<std::size_t>(ti);
       const EdgeId e = e2[t];
       const std::size_t i = static_cast<std::size_t>(e);
       const std::vector<int> cnt = assigned_counts(e);
@@ -197,7 +202,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
         }
       }
       cand[t] = ColorList(std::move(free));
-    }
+    });
     // Materialize the induced subgraph on E(2)'s endpoints.
     std::vector<NodeId> remap(static_cast<std::size_t>(g_.num_nodes()), -1);
     int nodes = 0;
@@ -219,7 +224,10 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
   }
 
   // --- Restrict lists; machine-check Equation (2). ---
-  A.for_each([&](EdgeId e) {
+  // part_of is fully assigned and read-only here; each edge replaces only
+  // its own working list.  The tightness statistic folds per lane.
+  DeterministicReducer<double> eq2_ratio(exec_->lanes(), stats_.max_eq2_ratio);
+  exec_->for_members(A, [&](int lane, EdgeId e) {
     const std::size_t i = static_cast<std::size_t>(e);
     QPLEC_ASSERT_MSG(part_of[i] >= 0, "edge " << e << " left without a subspace");
     const Color plo = lo + partition.part_begin(part_of[i]);
@@ -237,13 +245,14 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
                             static_cast<double>(list_size[i])) *
                            static_cast<double>(deg_A[i]);
       const double ratio = static_cast<double>(dprime) / bound;
-      stats_.max_eq2_ratio = std::max(stats_.max_eq2_ratio, ratio);
+      eq2_ratio.lane(lane) = std::max(eq2_ratio.lane(lane), ratio);
       QPLEC_ASSERT_MSG(ratio <= 1.0 + 1e-9, "Equation (2) violated at edge "
                                                 << e << ": deg'=" << dprime
                                                 << " bound=" << bound);
     }
     work_[i] = std::move(restricted);
   });
+  stats_.max_eq2_ratio = eq2_ratio.max();
   return part_of;
 }
 

@@ -1,0 +1,60 @@
+#include "src/dist/backend.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/runtime/thread_pool.hpp"
+
+namespace qplec {
+
+void SerialBackend::for_members(const EdgeSubset& s,
+                                const std::function<void(int, EdgeId)>& fn) const {
+  s.for_each([&](EdgeId e) { fn(0, e); });
+}
+
+void SerialBackend::for_indices(int count, const std::function<void(int, int)>& fn) const {
+  for (int i = 0; i < count; ++i) fn(0, i);
+}
+
+const ExecBackend& serial_backend() {
+  static const SerialBackend backend;
+  return backend;
+}
+
+ShardedBackend::ShardedBackend(const Graph& g, int shards, ThreadPool& pool)
+    : g_(&g), partition_(g, shards), pool_(&pool) {}
+
+void ShardedBackend::for_members(const EdgeSubset& s,
+                                 const std::function<void(int, EdgeId)>& fn) const {
+  QPLEC_REQUIRE_MSG(s.universe_size() == g_->num_edges(),
+                    "subset universe does not match the sharded graph");
+  pool_->run_indexed(partition_.num_shards(), [&](int, int shard) {
+    const EdgeShard& es = partition_.shard(shard);
+    for (EdgeId e = es.edge_begin; e < es.edge_end; ++e) {
+      if (s.contains(e)) fn(shard, e);
+    }
+  });
+}
+
+void ShardedBackend::for_indices(int count, const std::function<void(int, int)>& fn) const {
+  QPLEC_REQUIRE(count >= 0);
+  if (count == 0) return;
+  const int lanes = std::min(partition_.num_shards(), count);
+  pool_->run_indexed(lanes, [&](int, int lane) {
+    const int begin = static_cast<int>(static_cast<std::int64_t>(count) * lane / lanes);
+    const int end = static_cast<int>(static_cast<std::int64_t>(count) * (lane + 1) / lanes);
+    for (int i = begin; i < end; ++i) fn(lane, i);
+  });
+}
+
+ShardedExecution::ShardedExecution(const Graph& g, const ExecOptions& options) {
+  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  const int threads = options.num_threads > 0 ? options.num_threads
+                                              : std::min(std::max(1, options.shards), hw);
+  pool_ = std::make_unique<ThreadPool>(threads);
+  backend_ = std::make_unique<ShardedBackend>(g, options.shards, *pool_);
+}
+
+ShardedExecution::~ShardedExecution() = default;
+
+}  // namespace qplec

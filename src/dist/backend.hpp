@@ -1,0 +1,125 @@
+// ExecBackend — pluggable execution strategy for edge-local rounds.
+//
+// The solver's rounds are all of one shape: "every edge of a subset updates
+// its own state from committed neighbor state".  That step is embarrassingly
+// parallel within the round, so the SolverEngine routes it through this
+// interface instead of iterating inline: SerialBackend runs the step on the
+// calling thread (the seed behavior, and the right choice for the small
+// instances the batch runtime sweeps), ShardedBackend fans the subset out
+// over contiguous degree-balanced edge shards on a ThreadPool and joins at
+// the round barrier.
+//
+// Contract for step functions fn(lane, e):
+//   * fn may mutate only state owned by edge e (its working list, its final
+//     color, per-edge scratch slots) plus accumulators indexed by `lane`
+//     (see DeterministicReducer);
+//   * fn must not charge the ledger (the caller charges the round once,
+//     outside the parallel region) and must not recurse into the engine.
+// Lanes cover contiguous ascending id ranges, so per-lane partial results
+// concatenated in lane order are in global id order regardless of the shard
+// count — together with order-invariant folds this makes sharded execution
+// bit-identical to serial execution.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/dist/partition.hpp"
+#include "src/graph/subset.hpp"
+
+namespace qplec {
+
+class ThreadPool;
+
+/// Execution-backend selection carried by the Solver (and by the batch
+/// runtime, which routes instances by size).
+struct ExecOptions {
+  /// Number of shards one instance is split into; <= 1 runs serial.
+  int shards = 1;
+  /// Worker threads backing the sharded backend; <= 0 picks
+  /// min(shards, hardware concurrency).
+  int num_threads = 0;
+  /// Instances with fewer edges than this stay on the serial path even when
+  /// shards > 1 (per-round fan-out overhead dwarfs the step work below it).
+  int min_sharded_edges = 20000;
+
+  /// True when this configuration shards a graph of `num_edges` edges.
+  bool wants_sharding(int num_edges) const {
+    return shards > 1 && num_edges >= min_sharded_edges;
+  }
+
+  /// Shard count a solve over `num_edges` edges actually runs with: 1 on the
+  /// serial path, otherwise the configured count after the partitioner's
+  /// clamp to the edge-id universe.  The single source of truth for
+  /// reporting.
+  int effective_shards(int num_edges) const {
+    if (!wants_sharding(num_edges)) return 1;
+    return shards < num_edges ? shards : (num_edges > 1 ? num_edges : 1);
+  }
+};
+
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  /// Number of reduction lanes step functions may index (1 for serial).
+  virtual int lanes() const = 0;
+
+  /// Runs fn(lane, e) for every member of s, each exactly once; blocks until
+  /// all steps finished (the round barrier).  Exceptions from fn propagate.
+  virtual void for_members(const EdgeSubset& s,
+                           const std::function<void(int, EdgeId)>& fn) const = 0;
+
+  /// Runs fn(lane, i) for every i in [0, count); lanes cover contiguous
+  /// ascending index blocks.
+  virtual void for_indices(int count, const std::function<void(int, int)>& fn) const = 0;
+};
+
+/// The seed execution strategy: one lane, steps on the calling thread.
+class SerialBackend final : public ExecBackend {
+ public:
+  int lanes() const override { return 1; }
+  void for_members(const EdgeSubset& s,
+                   const std::function<void(int, EdgeId)>& fn) const override;
+  void for_indices(int count, const std::function<void(int, int)>& fn) const override;
+};
+
+/// The process-wide serial backend (stateless, shared by every engine that
+/// was not handed a sharded one).
+const ExecBackend& serial_backend();
+
+/// Shards the edge-id universe of one graph over a thread pool.  One lane
+/// per edge shard; for_members iterates each shard's id range on its own
+/// worker.  The pool must outlive the backend.
+class ShardedBackend final : public ExecBackend {
+ public:
+  ShardedBackend(const Graph& g, int shards, ThreadPool& pool);
+
+  int lanes() const override { return partition_.num_shards(); }
+  const EdgePartition& partition() const { return partition_; }
+
+  void for_members(const EdgeSubset& s,
+                   const std::function<void(int, EdgeId)>& fn) const override;
+  void for_indices(int count, const std::function<void(int, int)>& fn) const override;
+
+ private:
+  const Graph* g_;
+  EdgePartition partition_;
+  ThreadPool* pool_;
+};
+
+/// Bundles the pool + backend lifetime for one sharded solve: the Solver
+/// materializes one of these per instance it decides to shard.
+class ShardedExecution {
+ public:
+  ShardedExecution(const Graph& g, const ExecOptions& options);
+  ~ShardedExecution();
+
+  const ExecBackend& backend() const { return *backend_; }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ShardedBackend> backend_;
+};
+
+}  // namespace qplec

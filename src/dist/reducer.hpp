@@ -1,0 +1,76 @@
+// DeterministicReducer — shard-count-invariant parallel reductions.
+//
+// The sharded executor must produce bit-identical results for any shard
+// count: same colorings, same ledger charges, same statistics.  Parallel
+// loops therefore never fold into one shared accumulator (whose result would
+// depend on interleaving); each lane — one per shard — accumulates privately
+// and the fold happens once, on the calling thread, in lane order.  Because
+// shard lanes cover contiguous ascending id ranges, a lane-order fold visits
+// values in the same global order a serial loop would, so any fold is
+// deterministic; the sum/max/all folds used by the engines are additionally
+// invariant to where the lane boundaries fall, which is what makes shards=1
+// and shards=7 agree bit for bit.
+//
+// Lanes are cache-line padded: adjacent accumulators would otherwise false-
+// share under the per-shard write traffic of a hot round loop.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/assert.hpp"
+
+namespace qplec {
+
+template <typename T>
+class DeterministicReducer {
+ public:
+  DeterministicReducer(int lanes, T init) : init_(init) {
+    QPLEC_REQUIRE(lanes >= 1);
+    lanes_.resize(static_cast<std::size_t>(lanes), Slot{init});
+  }
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Mutable accumulator of one lane; each parallel worker touches only the
+  /// lane it was handed by the backend.
+  T& lane(int l) {
+    QPLEC_REQUIRE(l >= 0 && l < num_lanes());
+    return lanes_[static_cast<std::size_t>(l)].value;
+  }
+
+  /// Folds the lanes in lane order (= global id order for contiguous shards)
+  /// starting from the init value.
+  template <typename Fold>
+  T combine(Fold&& fold) const {
+    T acc = init_;
+    for (const Slot& s : lanes_) acc = fold(acc, s.value);
+    return acc;
+  }
+
+  T sum() const {
+    return combine([](const T& a, const T& b) { return a + b; });
+  }
+  T max() const {
+    return combine([](const T& a, const T& b) { return std::max(a, b); });
+  }
+  T min() const {
+    return combine([](const T& a, const T& b) { return std::min(a, b); });
+  }
+
+  /// True iff every lane holds a truthy value (for per-shard "all done"
+  /// flags).
+  bool all() const {
+    return combine([](const T& a, const T& b) { return a && b; });
+  }
+
+ private:
+  struct alignas(64) Slot {
+    T value;
+  };
+
+  T init_;
+  std::vector<Slot> lanes_;
+};
+
+}  // namespace qplec

@@ -1,0 +1,128 @@
+#include "src/dist/sharded_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/dist/reducer.hpp"
+#include "src/runtime/thread_pool.hpp"
+
+namespace qplec {
+
+ShardedEngine::ShardedEngine(const Graph& g, int shards, ThreadPool* pool)
+    : g_(g), partition_(g, shards) {
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    owned_pool_ = std::make_unique<ThreadPool>(std::min(partition_.num_shards(), hw));
+    pool_ = owned_pool_.get();
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+EdgeId ShardedEngine::port_edge(NodeId v, int port) const {
+  const auto inc = g_.incident(v);
+  QPLEC_REQUIRE(port >= 0 && static_cast<std::size_t>(port) < inc.size());
+  return inc[static_cast<std::size_t>(port)].edge;
+}
+
+EngineStats ShardedEngine::run(const Engine::ProgramFactory& factory,
+                               std::int64_t max_rounds) {
+  const int n = g_.num_nodes();
+  const int num_shards = partition_.num_shards();
+  std::vector<std::unique_ptr<NodeProgram>> programs(static_cast<std::size_t>(n));
+  std::vector<NodeContext> ctx(static_cast<std::size_t>(n));
+
+  // Factories may capture shared state: construct on the calling thread,
+  // in node order, exactly like the serial engine.
+  for (NodeId v = 0; v < n; ++v) {
+    auto& c = ctx[static_cast<std::size_t>(v)];
+    c.id_ = g_.local_id(v);
+    c.n_ = n;
+    c.delta_ = g_.max_degree();
+    c.round_ = 0;
+    c.inbox_.assign(static_cast<std::size_t>(g_.degree(v)), std::nullopt);
+    c.outbox_.assign(static_cast<std::size_t>(g_.degree(v)), std::nullopt);
+    programs[static_cast<std::size_t>(v)] = factory(v);
+    QPLEC_REQUIRE(programs[static_cast<std::size_t>(v)] != nullptr);
+  }
+
+  EngineStats stats;
+  DeterministicReducer<bool> shard_done(num_shards, true);
+  pool_->run_indexed(num_shards, [&](int, int s) {
+    const NodeShard& shard = partition_.shard(s);
+    bool done = true;
+    for (NodeId v = shard.node_begin; v < shard.node_end; ++v) {
+      programs[static_cast<std::size_t>(v)]->init(ctx[static_cast<std::size_t>(v)]);
+      done = done && ctx[static_cast<std::size_t>(v)].done_;
+    }
+    shard_done.lane(s) = done;
+  });
+
+  DeterministicReducer<std::int64_t> messages(num_shards, 0);
+  DeterministicReducer<std::int64_t> words(num_shards, 0);
+  DeterministicReducer<std::int64_t> max_words(num_shards, 0);
+
+  while (!shard_done.all()) {
+    QPLEC_ASSERT_MSG(stats.rounds < max_rounds,
+                     "engine exceeded " << max_rounds << " rounds — non-terminating program");
+    ++stats.rounds;
+
+    // Pass 1: every shard clears its own nodes' inboxes.  Must fully finish
+    // before any delivery starts: a neighboring shard delivers straight into
+    // these slots in pass 2.
+    pool_->run_indexed(num_shards, [&](int, int s) {
+      const NodeShard& shard = partition_.shard(s);
+      for (NodeId v = shard.node_begin; v < shard.node_end; ++v) {
+        auto& c = ctx[static_cast<std::size_t>(v)];
+        c.inbox_.assign(c.inbox_.size(), std::nullopt);
+      }
+    });
+
+    // Pass 2: every shard drains its own nodes' outboxes.  The write target
+    // inbox slot (dest, dest_port) is owned by this sender alone, so intra-
+    // shard and boundary deliveries alike are plain unsynchronized moves.
+    pool_->run_indexed(num_shards, [&](int, int s) {
+      const NodeShard& shard = partition_.shard(s);
+      for (NodeId v = shard.node_begin; v < shard.node_end; ++v) {
+        auto& c = ctx[static_cast<std::size_t>(v)];
+        for (std::size_t p = 0; p < c.outbox_.size(); ++p) {
+          auto& slot = c.outbox_[p];
+          if (!slot.has_value()) continue;
+          ++messages.lane(s);
+          words.lane(s) += static_cast<std::int64_t>(slot->words.size());
+          max_words.lane(s) = std::max(max_words.lane(s),
+                                       static_cast<std::int64_t>(slot->words.size()));
+          const PortRoute& r = partition_.route(v, static_cast<int>(p));
+          NodeContext& dest = ctx[static_cast<std::size_t>(r.dest)];
+          dest.inbox_[static_cast<std::size_t>(r.dest_port)] = std::move(*slot);
+          slot.reset();
+        }
+      }
+    });
+
+    // Pass 3: every shard steps its own unfinished nodes.
+    pool_->run_indexed(num_shards, [&](int, int s) {
+      const NodeShard& shard = partition_.shard(s);
+      bool done = true;
+      for (NodeId v = shard.node_begin; v < shard.node_end; ++v) {
+        auto& c = ctx[static_cast<std::size_t>(v)];
+        if (!c.done_) {
+          c.round_ = static_cast<int>(stats.rounds);
+          programs[static_cast<std::size_t>(v)]->round(c);
+        }
+        done = done && c.done_;
+      }
+      shard_done.lane(s) = done;
+    });
+  }
+
+  stats.messages = messages.sum();
+  stats.words = words.sum();
+  stats.max_message_words = max_words.max();
+  return stats;
+}
+
+}  // namespace qplec

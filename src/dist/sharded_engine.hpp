@@ -1,0 +1,69 @@
+// ShardedEngine — the LOCAL simulator, one instance across many threads.
+//
+// Semantically this is src/local/engine.hpp executed shard-parallel: the
+// node set splits into contiguous degree-balanced shards (NodePartition) and
+// every synchronous round becomes three barrier-separated parallel passes on
+// a ThreadPool:
+//   1. each shard clears its own nodes' inboxes,
+//   2. each shard delivers its own nodes' outboxes — writes go straight into
+//      the destination inbox slot, including across shards, with no locks:
+//      inbox slot (w, port) has exactly one writer (the unique neighbor on
+//      that port), so boundary-message exchange is race-free by routing, not
+//      by synchronization (routes precomputed by the Partitioner),
+//   3. each shard steps its own unfinished nodes.
+// Message/word counters accumulate per shard and fold in shard order
+// (DeterministicReducer); sums and maxes are invariant to the lane
+// boundaries, so EngineStats — like every node's message history and
+// therefore every program's output — is bit-identical to local::Engine for
+// ANY shard count, shards=1 included.  test_sharded_engine.cpp pins both
+// equalities down.
+//
+// The program factory runs on the calling thread (factories may capture
+// shared state); init() and round() run on pool workers, which is sound for
+// any genuine NodeProgram: the LOCAL contract already confines a node's step
+// to its own context, and a program drawing randomness must derive it from
+// its own id (e.g. Rng::fork(id)), never from shared mutable state — the
+// same rule that makes it a valid distributed algorithm in the first place.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/dist/partition.hpp"
+#include "src/local/engine.hpp"
+
+namespace qplec {
+
+class ThreadPool;
+
+class ShardedEngine {
+ public:
+  /// Splits g into `shards` shards (clamped to [1, num_nodes]).  When `pool`
+  /// is null the engine owns a pool of min(shards, hardware) workers;
+  /// otherwise the caller's pool is used and must outlive the engine.
+  ShardedEngine(const Graph& g, int shards, ThreadPool* pool = nullptr);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return partition_.num_shards(); }
+  const NodePartition& partition() const { return partition_; }
+
+  /// Runs one program instance per node until every node finished; same
+  /// contract and same results as Engine::run.  Throws if max_rounds is
+  /// exceeded.
+  EngineStats run(const Engine::ProgramFactory& factory, std::int64_t max_rounds);
+
+  /// Port decoding helpers, mirroring Engine (O(1) here via the routes).
+  NodeId port_neighbor(NodeId v, int port) const { return partition_.route(v, port).dest; }
+  EdgeId port_edge(NodeId v, int port) const;
+
+ private:
+  const Graph& g_;
+  NodePartition partition_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+};
+
+}  // namespace qplec

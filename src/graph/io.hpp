@@ -1,8 +1,13 @@
 // Plain-text edge-list I/O.
 //
-// Format: first line "n m", then m lines "u v" with 0-based node indices.
-// Lines starting with '#' are comments.  This is the interchange format the
-// examples use to load custom topologies.
+// Two formats are accepted, auto-detected per file:
+//   * plain: header "n m", then m lines "u v", 0-based (a file whose ids
+//     reach n while staying >= 1 can only be a 1-based export and is shifted
+//     down automatically);
+//   * DIMACS: "p edge n m" header and "e u v" edge lines, 1-based ids.
+// '#' lines and DIMACS 'c' comment lines are ignored everywhere.  Malformed
+// input raises std::invalid_argument naming the offending line.  This is the
+// interchange format the examples use to load custom topologies.
 #pragma once
 
 #include <iosfwd>

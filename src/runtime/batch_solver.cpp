@@ -18,9 +18,15 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 /// Per-worker scratch: one Solver per policy kind, constructed once and
 /// reused for every scenario the worker (or a thief hand-off) executes.
+/// Every solver carries the batch's ExecOptions; each decides per instance
+/// (by edge count) whether to spin up the sharded backend.
 struct WorkerScratch {
-  Solver practical{make_policy(PolicyKind::kPractical)};
-  Solver paper{make_policy(PolicyKind::kPaper)};
+  explicit WorkerScratch(const ExecOptions& exec)
+      : practical(make_policy(PolicyKind::kPractical), exec),
+        paper(make_policy(PolicyKind::kPaper), exec) {}
+
+  Solver practical;
+  Solver paper;
 
   const Solver& solver_for(PolicyKind kind) const {
     return kind == PolicyKind::kPaper ? paper : practical;
@@ -52,7 +58,8 @@ BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
   report.num_threads = pool.num_threads();
   report.results.resize(manifest.size());
 
-  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(pool.num_threads()));
+  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(pool.num_threads()),
+                                     WorkerScratch(options_.exec));
 
   const auto batch_start = std::chrono::steady_clock::now();
   pool.run_indexed(static_cast<int>(manifest.size()), [&](int worker_id, int index) {
@@ -68,6 +75,7 @@ BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
     out.max_degree = instance.graph.max_degree();
     out.max_edge_degree = instance.graph.max_edge_degree();
     out.palette_size = instance.palette_size;
+    out.shards = options_.exec.effective_shards(out.num_edges);
 
     const Solver& solver =
         scratch[static_cast<std::size_t>(worker_id)].solver_for(scenario.policy);

@@ -25,6 +25,11 @@ namespace qplec {
 struct BatchOptions {
   int num_threads = 0;   ///< <= 0: hardware concurrency
   bool keep_colors = false;  ///< retain full colorings in the results
+  /// Intra-instance execution: with exec.shards > 1, any instance whose edge
+  /// count reaches exec.min_sharded_edges is routed to the sharded backend
+  /// (src/dist) — one pool per such solve — while the rest of the manifest
+  /// keeps the serial per-worker path.  Results are identical either way.
+  ExecOptions exec;
 };
 
 /// Everything measured about one solved scenario.
@@ -35,6 +40,7 @@ struct ScenarioResult {
   int max_degree = 0;       ///< Delta
   int max_edge_degree = 0;  ///< Delta-bar
   Color palette_size = 0;
+  int shards = 1;  ///< intra-instance shards this scenario was solved with
   std::int64_t rounds = 0;
   std::int64_t raw_rounds = 0;
   std::uint64_t colors_hash = 0;  ///< FNV-1a over the coloring (cross-run check)

@@ -71,6 +71,7 @@ void BenchReporter::write_json(const BatchReport& report, std::ostream& out) con
     out << "      \"delta\": " << r.max_degree << ",\n";
     out << "      \"delta_bar\": " << r.max_edge_degree << ",\n";
     out << "      \"palette\": " << r.palette_size << ",\n";
+    out << "      \"shards\": " << r.shards << ",\n";
     out << "      \"rounds\": " << r.rounds << ",\n";
     out << "      \"raw_rounds\": " << r.raw_rounds << ",\n";
     out << "      \"build_ms\": " << fixed(r.build_ms) << ",\n";

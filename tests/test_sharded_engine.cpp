@@ -1,0 +1,263 @@
+// The sharded executor's contract: sharding is invisible.  For any shard
+// count the ShardedEngine runs a node program to the same outputs and the
+// same EngineStats as the serial local::Engine, and the Solver on the
+// sharded backend produces the same colorings, round counts and ledger
+// totals as the seed's serial path — bit for bit.
+#include "src/dist/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/solver.hpp"
+#include "src/dist/backend.hpp"
+#include "src/graph/generators.hpp"
+#include "src/runtime/batch_solver.hpp"
+#include "src/runtime/scenarios.hpp"
+#include "src/runtime/thread_pool.hpp"
+
+namespace qplec {
+namespace {
+
+// Mirrors examples/manifests/smoke.txt (the CI smoke manifest); keep in sync.
+const char* const kSmokeManifest[] = {
+    "cycle 31 two_delta practical 42",
+    "complete 12 two_delta practical 42",
+    "regular 40 random_lists practical 42",
+    "tree 70 two_delta practical 42",
+    "complete 8 two_delta paper 42",
+};
+
+std::vector<Scenario> smoke_scenarios() {
+  std::vector<Scenario> out;
+  for (const char* line : kSmokeManifest) {
+    Scenario s;
+    EXPECT_TRUE(parse_scenario_line(line, &s));
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Flood the maximum id within `radius` hops: init broadcasts the own id,
+/// every round folds the inbox into the running max and re-broadcasts, and
+/// after `radius` rounds the node records the result and finishes.  Output
+/// depends on every message of every round — any delivery bug shows up.
+class MaxFloodProgram final : public NodeProgram {
+ public:
+  MaxFloodProgram(int radius, std::uint64_t* out) : radius_(radius), out_(out) {}
+
+  void init(NodeContext& ctx) override {
+    best_ = ctx.my_id();
+    if (radius_ == 0) {
+      *out_ = best_;
+      ctx.finish();
+      return;
+    }
+    ctx.broadcast(Message{{best_}});
+  }
+
+  void round(NodeContext& ctx) override {
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (const Message* msg = ctx.received(p)) {
+        best_ = std::max(best_, msg->words.at(0));
+      }
+    }
+    if (ctx.round() >= radius_) {
+      *out_ = best_;
+      ctx.finish();
+      return;
+    }
+    ctx.broadcast(Message{{best_}});
+  }
+
+ private:
+  int radius_;
+  std::uint64_t* out_;
+  std::uint64_t best_ = 0;
+};
+
+/// Stirs per-node randomness into the message stream: each round every node
+/// sends rng_draw XOR (sum of received words) on every port.  The RNG tape
+/// is forked from the node id — the only sound source of randomness for a
+/// node program — so outputs must be identical under any sharding.
+class RandomGossipProgram final : public NodeProgram {
+ public:
+  RandomGossipProgram(std::uint64_t id_seed, int rounds, std::uint64_t* out)
+      : rng_(Rng(977).fork(id_seed)), rounds_(rounds), out_(out) {}
+
+  void init(NodeContext& ctx) override {
+    acc_ = rng_.next_u64();
+    ctx.broadcast(Message{{acc_}});
+  }
+
+  void round(NodeContext& ctx) override {
+    std::uint64_t sum = 0;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (const Message* msg = ctx.received(p)) sum += msg->words.at(0);
+    }
+    acc_ = rng_.next_u64() ^ sum;
+    if (ctx.round() >= rounds_) {
+      *out_ = acc_;
+      ctx.finish();
+      return;
+    }
+    ctx.broadcast(Message{{acc_}});
+  }
+
+ private:
+  Rng rng_;
+  int rounds_;
+  std::uint64_t* out_;
+  std::uint64_t acc_ = 0;
+};
+
+void expect_matches_serial_engine(const Graph& g) {
+  // Serial reference.
+  std::vector<std::uint64_t> flood_ref(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<std::uint64_t> gossip_ref(static_cast<std::size_t>(g.num_nodes()), 0);
+  Engine serial(g);
+  const EngineStats flood_stats = serial.run(
+      [&](NodeId v) {
+        return std::make_unique<MaxFloodProgram>(4, &flood_ref[static_cast<std::size_t>(v)]);
+      },
+      1000);
+  const EngineStats gossip_stats = serial.run(
+      [&](NodeId v) {
+        return std::make_unique<RandomGossipProgram>(
+            g.local_id(v), 5, &gossip_ref[static_cast<std::size_t>(v)]);
+      },
+      1000);
+
+  for (const int shards : {1, 2, 7}) {
+    ShardedEngine engine(g, shards);
+    std::vector<std::uint64_t> flood(static_cast<std::size_t>(g.num_nodes()), 0);
+    const EngineStats fs = engine.run(
+        [&](NodeId v) {
+          return std::make_unique<MaxFloodProgram>(4, &flood[static_cast<std::size_t>(v)]);
+        },
+        1000);
+    EXPECT_EQ(flood, flood_ref) << "shards=" << shards;
+    EXPECT_EQ(fs.rounds, flood_stats.rounds) << "shards=" << shards;
+    EXPECT_EQ(fs.messages, flood_stats.messages) << "shards=" << shards;
+    EXPECT_EQ(fs.words, flood_stats.words) << "shards=" << shards;
+    EXPECT_EQ(fs.max_message_words, flood_stats.max_message_words) << "shards=" << shards;
+
+    std::vector<std::uint64_t> gossip(static_cast<std::size_t>(g.num_nodes()), 0);
+    const EngineStats gs = engine.run(
+        [&](NodeId v) {
+          return std::make_unique<RandomGossipProgram>(
+              g.local_id(v), 5, &gossip[static_cast<std::size_t>(v)]);
+        },
+        1000);
+    EXPECT_EQ(gossip, gossip_ref) << "shards=" << shards;
+    EXPECT_EQ(gs.messages, gossip_stats.messages) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedEngine, MatchesSerialEngineAcrossShardCounts) {
+  expect_matches_serial_engine(make_cycle(31));
+  expect_matches_serial_engine(make_complete(12));
+  expect_matches_serial_engine(make_random_regular(40, 8, 42));
+  expect_matches_serial_engine(make_power_law(60, 2.5, 12.0, 7));
+}
+
+TEST(ShardedEngine, MoreShardsThanNodesClampAndExternalPoolWorks) {
+  const Graph g = make_cycle(9);
+  ThreadPool pool(3);
+  ShardedEngine engine(g, 100, &pool);
+  EXPECT_EQ(engine.num_shards(), 9);
+  std::vector<std::uint64_t> out(9, 0);
+  engine.run(
+      [&](NodeId v) {
+        return std::make_unique<MaxFloodProgram>(4, &out[static_cast<std::size_t>(v)]);
+      },
+      1000);
+  for (const std::uint64_t b : out) EXPECT_EQ(b, g.max_local_id());
+}
+
+TEST(ShardedEngine, PortDecodingMatchesSerialEngine) {
+  const Graph g = make_random_regular(20, 4, 3);
+  Engine serial(g);
+  ShardedEngine sharded(g, 5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(sharded.port_neighbor(v, p), serial.port_neighbor(v, p));
+      EXPECT_EQ(sharded.port_edge(v, p), serial.port_edge(v, p));
+    }
+  }
+}
+
+TEST(ShardedBackend, VisitsEveryMemberExactlyOnce) {
+  const Graph g = make_random_regular(50, 6, 9);
+  ThreadPool pool(4);
+  for (const int shards : {1, 2, 7}) {
+    const ShardedBackend backend(g, shards, pool);
+    EdgeSubset odd(g.num_edges());
+    for (EdgeId e = 1; e < g.num_edges(); e += 2) odd.insert(e);
+    std::vector<int> visits(static_cast<std::size_t>(g.num_edges()), 0);
+    backend.for_members(odd, [&](int lane, EdgeId e) {
+      EXPECT_GE(lane, 0);
+      EXPECT_LT(lane, backend.lanes());
+      ++visits[static_cast<std::size_t>(e)];
+    });
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_EQ(visits[static_cast<std::size_t>(e)], odd.contains(e) ? 1 : 0);
+    }
+    std::vector<int> index_visits(31, 0);
+    backend.for_indices(31, [&](int, int i) { ++index_visits[static_cast<std::size_t>(i)]; });
+    for (const int count : index_visits) EXPECT_EQ(count, 1);
+  }
+}
+
+// The acceptance gate: every smoke-manifest scenario, solved with 1, 2 and 7
+// shards, yields identical colorings, round counts and ledger totals.
+TEST(ShardedSolver, SmokeManifestBitIdenticalAcrossShardCounts) {
+  for (const Scenario& scenario : smoke_scenarios()) {
+    const ListEdgeColoringInstance instance = build_instance(scenario);
+    const SolveResult serial = Solver(make_policy(scenario.policy)).solve(instance);
+    for (const int shards : {1, 2, 7}) {
+      ExecOptions exec;
+      exec.shards = shards;
+      exec.min_sharded_edges = 0;  // force the sharded path on tiny graphs
+      const SolveResult res = Solver(make_policy(scenario.policy), exec).solve(instance);
+      EXPECT_EQ(res.colors, serial.colors) << scenario.name() << " shards=" << shards;
+      EXPECT_EQ(res.rounds, serial.rounds) << scenario.name() << " shards=" << shards;
+      EXPECT_EQ(res.raw_rounds, serial.raw_rounds)
+          << scenario.name() << " shards=" << shards;
+      EXPECT_EQ(res.initial_rounds, serial.initial_rounds)
+          << scenario.name() << " shards=" << shards;
+      // The full ledger tree — per-scope totals and phase structure — must
+      // agree, not just the grand total.
+      EXPECT_EQ(res.round_report, serial.round_report)
+          << scenario.name() << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedSolver, BatchRoutingPreservesResults) {
+  const auto manifest = smoke_scenarios();
+  BatchOptions serial_options;
+  serial_options.num_threads = 2;
+  serial_options.keep_colors = true;
+  const BatchReport serial = BatchSolver(serial_options).run(manifest);
+
+  BatchOptions sharded_options = serial_options;
+  sharded_options.exec.shards = 4;
+  sharded_options.exec.min_sharded_edges = 0;
+  const BatchReport sharded = BatchSolver(sharded_options).run(manifest);
+
+  ASSERT_EQ(serial.results.size(), sharded.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    EXPECT_EQ(serial.results[i].colors, sharded.results[i].colors);
+    EXPECT_EQ(serial.results[i].rounds, sharded.results[i].rounds);
+    EXPECT_EQ(serial.results[i].colors_hash, sharded.results[i].colors_hash);
+    EXPECT_EQ(serial.results[i].shards, 1);
+    EXPECT_EQ(sharded.results[i].shards, 4);
+    EXPECT_TRUE(sharded.results[i].valid);
+  }
+}
+
+}  // namespace
+}  // namespace qplec
