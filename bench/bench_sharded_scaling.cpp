@@ -2,19 +2,27 @@
 //
 //   usage: bench_sharded_scaling [--nodes N] [--degree D] [--repeats R]
 //                                [--shards "1,2,4,8"] [--out BENCH_sharded.json]
-//                                [--skip-power-law]
+//                                [--skip-power-law] [--min-speedup X]
+//                                [--min-speedup-shards S]
 //
 // Solves one large (2*Delta-1) edge-coloring instance per graph — a random
 // D-regular graph with N*D/2 >= 200k edges, plus a heavy-tailed power-law
 // skew stressor — once per shard count, and reports wall time, speedup over
-// shards=1 and edges/sec.  Every run must reproduce the shards=1 coloring
-// bit for bit (checked here; the bench aborts otherwise), so the numbers
-// measure the sharding, never a silently different execution.  Speedup
-// > 1 naturally needs as many free cores as shards; on a single-core box
-// the bench instead measures the coordination overhead.  Unlike the
+// shards=1 and edges/sec.  Every sharded solve runs on ONE leased worker
+// pool (sized to the largest shard count of the sweep), the same ownership
+// model the BatchSolver uses, so the sweep measures rounds, not thread
+// spawning.  Every run must reproduce the shards=1 coloring bit for bit
+// (checked here; the bench aborts otherwise), so the numbers measure the
+// sharding, never a silently different execution.  Speedup > 1 naturally
+// needs as many free cores as shards; on a single-core box the bench
+// instead measures the coordination overhead.  --min-speedup X turns the
+// bench into a regression gate: it exits non-zero unless the regular-graph
+// sweep reaches speedup >= X at --min-speedup-shards (default: the largest
+// shard count) — CI runs this on its multi-core runners.  Unlike the
 // google-benchmark experiments this is a plain executable: it has no
 // dependency to be skipped over, and CI uploads its BENCH_sharded.json
 // artifact on every run.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +36,7 @@
 #include "src/dist/partition.hpp"
 #include "src/graph/generators.hpp"
 #include "src/runtime/batch_solver.hpp"
+#include "src/runtime/thread_pool.hpp"
 
 namespace {
 
@@ -65,7 +74,8 @@ std::vector<int> parse_shard_list(const char* text) {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_sharded_scaling [--nodes N] [--degree D] [--repeats R] "
-               "[--shards \"1,2,4,8\"] [--out BENCH_sharded.json] [--skip-power-law]\n");
+               "[--shards \"1,2,4,8\"] [--out BENCH_sharded.json] [--skip-power-law] "
+               "[--min-speedup X] [--min-speedup-shards S]\n");
   return 2;
 }
 
@@ -80,6 +90,8 @@ int main(int argc, char** argv) {
   std::vector<int> shard_counts{1, 2, 4, 8};
   std::string out_path = "BENCH_sharded.json";
   bool power_law = true;
+  double min_speedup = 0.0;  // 0 = no gate
+  int min_speedup_shards = 0;  // 0 = largest of the sweep
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--nodes" && i + 1 < argc) {
@@ -94,14 +106,33 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--skip-power-law") {
       power_law = false;
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      // Strict parse: a typo'd value must not silently disable the gate.
+      char* end = nullptr;
+      min_speedup = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || min_speedup <= 0.0) {
+        std::fprintf(stderr, "--min-speedup: '%s' is not a positive number\n", argv[i]);
+        return usage();
+      }
+    } else if (arg == "--min-speedup-shards" && i + 1 < argc) {
+      char* end = nullptr;
+      min_speedup_shards = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || min_speedup_shards < 1) {
+        std::fprintf(stderr, "--min-speedup-shards: '%s' is not a positive integer\n",
+                     argv[i]);
+        return usage();
+      }
     } else {
       return usage();
     }
   }
   if (nodes < 2 || degree < 1 || repeats < 1 || shard_counts.empty()) return usage();
+  int max_shards = 1;
   for (const int s : shard_counts) {
     if (s < 1) return usage();
+    max_shards = std::max(max_shards, s);
   }
+  if (min_speedup_shards == 0) min_speedup_shards = max_shards;
 
   struct Workload {
     std::string name;
@@ -119,6 +150,11 @@ int main(int argc, char** argv) {
         {"power_law", make_power_law(nodes * 4, 2.5, 8.0 * degree, 42)});
   }
 
+  // One leased worker pool for every sharded solve of the sweep (the
+  // BatchSolver ownership model): sized to the largest shard count once, so
+  // per-solve thread spawn never enters the measurement.
+  ThreadPool shard_pool(max_shards);
+
   std::vector<Sample> samples;
   bool ok = true;
   for (const Workload& w : workloads) {
@@ -132,8 +168,8 @@ int main(int argc, char** argv) {
     for (const int shards : shard_counts) {
       ExecOptions exec;
       exec.shards = shards;
-      exec.num_threads = shards;
       exec.min_sharded_edges = 0;
+      exec.shared_pool = &shard_pool;
       const Solver solver(Policy::practical(), exec);
 
       Sample s;
@@ -186,6 +222,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The perf gate: the regular-graph sweep at --min-speedup-shards must be
+  // --min-speedup times faster than ITS OWN shards=1 sample (located
+  // explicitly — the JSON `speedup` field is relative to the sweep's first
+  // entry by position, which need not be shards=1).
+  bool gate_ok = true;
+  if (min_speedup > 0.0) {
+    const Sample* base = nullptr;
+    const Sample* target = nullptr;
+    for (const Sample& s : samples) {
+      if (s.graph != "regular") continue;
+      if (s.shards == 1 && base == nullptr) base = &s;
+      if (s.shards == min_speedup_shards && target == nullptr) target = &s;
+    }
+    if (base == nullptr || target == nullptr) {
+      // A requested-but-unmatchable gate is a configuration error, never a
+      // silent pass — otherwise one --shards edit turns the CI gate off.
+      std::fprintf(stderr,
+                   "PERF GATE MISCONFIGURED: the regular sweep needs both a shards=1 "
+                   "sample and one at shards=%d; fix --shards/--min-speedup-shards\n",
+                   min_speedup_shards);
+      gate_ok = false;
+    } else {
+      const double speedup = target->wall_ms > 0 ? base->wall_ms / target->wall_ms : 0.0;
+      if (speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "PERF GATE FAILED: regular shards=%d speedup %.2fx over shards=1 "
+                     "< required %.2fx\n",
+                     min_speedup_shards, speedup, min_speedup);
+        gate_ok = false;
+      } else {
+        std::printf("perf gate passed: regular shards=%d at %.2fx over shards=1 (>= %.2fx)\n",
+                    min_speedup_shards, speedup, min_speedup);
+      }
+    }
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -193,6 +265,7 @@ int main(int argc, char** argv) {
   }
   out << "{\n  \"bench\": \"sharded_scaling\",\n  \"algorithm\": \"bko_podc2020\",\n";
   out << "  \"deterministic\": " << (ok ? "true" : "false") << ",\n";
+  out << "  \"max_shards\": " << max_shards << ",\n";
   out << "  \"samples\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
@@ -208,5 +281,5 @@ int main(int argc, char** argv) {
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return ok ? 0 : 1;
+  return ok && gate_ok ? 0 : 1;
 }

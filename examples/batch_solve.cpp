@@ -12,6 +12,8 @@
 // --shards N routes every instance with at least --sharded-min-edges edges
 // (default 20000) to the intra-instance sharded executor (src/dist), keeping
 // the rest on the serial per-worker path; results are identical either way.
+// All sharded solves of one batch lease a single shared worker pool (sized
+// once inside BatchSolver), so --shards never multiplies thread counts.
 //
 // Manifest format, one scenario per line ('#' comments):
 //   <family> <size> <flavor> <policy> [seed [aux]]

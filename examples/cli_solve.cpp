@@ -9,9 +9,12 @@
 // Output: one line per edge, "u v color", plus a summary on stderr.
 // With --list-palette C the instance uses random (deg+1)-lists from [0, C)
 // instead of the uniform (2*Delta-1) palette.  --shards N runs the bko
-// solver's rounds N-way parallel on the sharded backend (identical output);
-// --threads caps the worker threads backing it.  --verbose adds wall time,
-// per-round wall time and the ledger's phase breakdown to the summary.
+// solver's rounds — the base-case primitives included — N-way parallel on
+// the sharded backend (identical output); --threads caps the worker threads
+// backing it (this single-instance CLI owns its pool; batch_solve instead
+// leases one shared pool to all of its sharded solves).  --verbose adds
+// wall time, per-round wall time and the ledger's phase breakdown to the
+// summary.
 #include <chrono>
 #include <cstdio>
 #include <cstring>

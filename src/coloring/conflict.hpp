@@ -13,6 +13,12 @@
 // graph, so one conflict-graph round costs O(1) LOCAL rounds.  Implementing
 // Linial color reduction and greedy-by-class once against this interface
 // gives every subroutine the primitives it needs.
+//
+// Thread-safety contract: every ConflictView implementation is immutable
+// after construction, so active()/for_each_neighbor()/degree() may be called
+// concurrently from the workers of an ExecBackend — the property the
+// backend-routed primitives (src/coloring/{linial,greedy,defective}) rely
+// on.
 #pragma once
 
 #include <functional>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "src/common/assert.hpp"
+#include "src/dist/backend.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/subset.hpp"
 
@@ -110,5 +117,11 @@ class ExplicitConflict final : public ConflictView {
   std::vector<char> active_;
   std::vector<std::vector<int>> adj_;
 };
+
+/// ConflictView::max_degree computed through an execution backend: the item
+/// scan fans out over the backend's lanes and folds with a per-lane max
+/// (order-invariant, so the result is bit-identical for any lane layout).
+/// Null exec runs on the process-wide serial backend.
+int max_conflict_degree(const ConflictView& view, const ExecBackend* exec);
 
 }  // namespace qplec

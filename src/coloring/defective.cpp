@@ -1,7 +1,7 @@
 #include "src/coloring/defective.hpp"
 
 #include <algorithm>
-#include <map>
+#include <array>
 
 #include "src/coloring/conflict.hpp"
 #include "src/coloring/three_color.hpp"
@@ -12,7 +12,9 @@ namespace qplec {
 
 DefectiveColoring defective_edge_coloring(const Graph& g, const EdgeSubset& H, int beta,
                                           const std::vector<std::uint64_t>& phi,
-                                          std::uint64_t phi_palette, RoundLedger& ledger) {
+                                          std::uint64_t phi_palette, RoundLedger& ledger,
+                                          const ExecBackend* exec) {
+  const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   QPLEC_REQUIRE(beta >= 1);
   QPLEC_REQUIRE(H.universe_size() == g.num_edges());
   const int group_cap = 4 * beta;
@@ -22,14 +24,16 @@ DefectiveColoring defective_edge_coloring(const Graph& g, const EdgeSubset& H, i
 
   // Step 1+2: group assignment and edge numbering, one exchange round.
   // number_from[e][side]: the 1-based number assigned by the endpoint; group
-  // index per side identifies the group for conflict detection.
+  // index per side identifies the group for conflict detection.  A node-
+  // local pass: node v writes only the v-side slot of its incident edges,
+  // so the node shards never collide.
   struct SideInfo {
     int number = 0;  // 1..4beta
     int group = 0;   // group index at that endpoint
   };
   std::vector<SideInfo> from_u(static_cast<std::size_t>(g.num_edges()));
   std::vector<SideInfo> from_v(static_cast<std::size_t>(g.num_edges()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+  ex.for_nodes(g, [&](int, NodeId v) {
     int idx = 0;
     for (const Incidence& inc : g.incident(v)) {
       if (!H.contains(inc.edge)) continue;
@@ -38,7 +42,7 @@ DefectiveColoring defective_edge_coloring(const Graph& g, const EdgeSubset& H, i
       (ep.u == v ? from_u : from_v)[static_cast<std::size_t>(inc.edge)] = info;
       ++idx;
     }
-  }
+  });
   ledger.charge(1, "defective-numbering");
 
   // Temporary color: the sorted pair (i, j).
@@ -50,57 +54,71 @@ DefectiveColoring defective_edge_coloring(const Graph& g, const EdgeSubset& H, i
   const int num_pairs = group_cap * (group_cap + 1) / 2;
 
   std::vector<int> temp(static_cast<std::size_t>(g.num_edges()), -1);
-  H.for_each([&](EdgeId e) {
+  ex.for_members(H, [&](int, EdgeId e) {
     const int a = from_u[static_cast<std::size_t>(e)].number;
     const int b = from_v[static_cast<std::size_t>(e)].number;
     temp[static_cast<std::size_t>(e)] = pair_index(std::min(a, b), std::max(a, b));
   });
 
   // Step 3: conflicts = same temporary color within the same (node, group).
-  // Keyed map group -> (temp -> edges); each bucket has at most 2 edges.
-  std::vector<std::pair<int, int>> conflicts;
-  {
-    std::map<std::pair<std::int64_t, int>, std::vector<EdgeId>> buckets;
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      for (const Incidence& inc : g.incident(v)) {
-        if (!H.contains(inc.edge)) continue;
-        const auto& ep = g.endpoints(inc.edge);
-        const SideInfo& side =
-            (ep.u == v ? from_u : from_v)[static_cast<std::size_t>(inc.edge)];
-        const std::int64_t group_key = static_cast<std::int64_t>(v) *
-                                           (static_cast<std::int64_t>(g.max_degree()) + 1) +
-                                       side.group;
-        buckets[{group_key, temp[static_cast<std::size_t>(inc.edge)]}].push_back(inc.edge);
-      }
+  // Conflict detection is node-local — both edges of a conflicting pair are
+  // incident to the node that detects them — so each node shard scans its
+  // own nodes and emits pairs into per-lane sinks, concatenated in lane
+  // order below.  (ExplicitConflict sorts and dedups adjacency, so the
+  // emission order never reaches the view; the lane concat merely keeps the
+  // vector itself deterministic.)  Each (group, temp) bucket has at most 2
+  // edges, asserted in the scan.
+  LaneScratch<std::vector<std::pair<int, int>>> conflict_sink(ex.lanes());
+  LaneScratch<std::vector<std::array<int, 3>>> triple_scratch(ex.lanes());
+  ex.for_nodes(g, [&](int lane, NodeId v) {
+    std::vector<std::array<int, 3>>& triples = triple_scratch.lane(lane);
+    triples.clear();
+    for (const Incidence& inc : g.incident(v)) {
+      if (!H.contains(inc.edge)) continue;
+      const auto& ep = g.endpoints(inc.edge);
+      const SideInfo& side =
+          (ep.u == v ? from_u : from_v)[static_cast<std::size_t>(inc.edge)];
+      triples.push_back({side.group, temp[static_cast<std::size_t>(inc.edge)],
+                         static_cast<int>(inc.edge)});
     }
-    for (const auto& [key, edges] : buckets) {
-      QPLEC_ASSERT_MSG(edges.size() <= 2,
+    std::sort(triples.begin(), triples.end());
+    for (std::size_t a = 0; a < triples.size();) {
+      std::size_t b = a;
+      while (b < triples.size() && triples[b][0] == triples[a][0] &&
+             triples[b][1] == triples[a][1]) {
+        ++b;
+      }
+      QPLEC_ASSERT_MSG(b - a <= 2,
                        "more than two edges share a temporary color within one group");
-      for (std::size_t a = 0; a < edges.size(); ++a) {
-        for (std::size_t b = a + 1; b < edges.size(); ++b) {
-          conflicts.emplace_back(static_cast<int>(edges[a]), static_cast<int>(edges[b]));
-        }
+      if (b - a == 2) {
+        conflict_sink.lane(lane).emplace_back(triples[a][2], triples[a + 1][2]);
       }
+      a = b;
     }
+  });
+  std::vector<std::pair<int, int>> conflicts;
+  for (int lane = 0; lane < conflict_sink.num_lanes(); ++lane) {
+    conflicts.insert(conflicts.end(), conflict_sink.lane(lane).begin(),
+                     conflict_sink.lane(lane).end());
   }
 
   ExplicitConflict view(g.num_edges(), H.to_vector(), conflicts);
-  QPLEC_ASSERT_MSG(view.max_degree() <= 2,
+  QPLEC_ASSERT_MSG(max_conflict_degree(view, &ex) <= 2,
                    "same-temp-color conflict graph must be paths/cycles");
 
   // 3-color the path/cycle system.
-  const ThreeColorResult tc = three_color_paths_cycles(view, phi, phi_palette, ledger);
+  const ThreeColorResult tc = three_color_paths_cycles(view, phi, phi_palette, ledger, &ex);
   const std::vector<Color>& three = tc.colors;
   out.rounds = 1 + tc.rounds;
 
   out.num_classes = 3 * num_pairs;
-  H.for_each([&](EdgeId e) {
+  ex.for_members(H, [&](int, EdgeId e) {
     out.cls[static_cast<std::size_t>(e)] =
         temp[static_cast<std::size_t>(e)] * 3 + three[static_cast<std::size_t>(e)];
   });
 
   // The paper's defect bound, asserted on every edge.
-  H.for_each([&](EdgeId e) {
+  ex.for_members(H, [&](int, EdgeId e) {
     const int defect = edge_defect(g, H, out.cls, e);
     const int deg_h = H.induced_edge_degree(g, e);
     QPLEC_ASSERT_MSG(2 * beta * defect <= deg_h,

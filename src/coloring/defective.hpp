@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/dist/backend.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/subset.hpp"
 #include "src/local/ledger.hpp"
@@ -33,9 +34,13 @@ struct DefectiveColoring {
 
 /// Computes the deg(e)/(2*beta)-defective edge coloring of the subset H.
 /// phi/phi_palette: a proper edge coloring of (at least) the edges of H used
-/// to seed the path/cycle 3-coloring.
+/// to seed the path/cycle 3-coloring.  The per-node passes (grouping /
+/// numbering, same-group conflict detection) and per-edge passes run on
+/// `exec` (null = serial backend; on a sharded backend g must be the sharded
+/// graph) with bit-identical results for any lane count.
 DefectiveColoring defective_edge_coloring(const Graph& g, const EdgeSubset& H, int beta,
                                           const std::vector<std::uint64_t>& phi,
-                                          std::uint64_t phi_palette, RoundLedger& ledger);
+                                          std::uint64_t phi_palette, RoundLedger& ledger,
+                                          const ExecBackend* exec = nullptr);
 
 }  // namespace qplec

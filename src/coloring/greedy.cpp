@@ -9,38 +9,48 @@ namespace qplec {
 
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
-                       std::vector<Color>& out, RoundLedger& ledger) {
+                       std::vector<Color>& out, RoundLedger& ledger,
+                       const ExecBackend* exec) {
+  const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   QPLEC_REQUIRE(out.size() == static_cast<std::size_t>(view.num_items()));
   QPLEC_REQUIRE(lists.size() == static_cast<std::size_t>(view.num_items()));
-  QPLEC_ASSERT_MSG(is_proper_on_conflict(view, phi), "greedy sweep needs a proper phi");
+  QPLEC_ASSERT_MSG(is_proper_on_conflict(view, phi, ex), "greedy sweep needs a proper phi");
 
   // Bucket active items by class; iterate classes in increasing order.  Only
   // non-empty classes cost simulation work; the LOCAL round cost of the sweep
   // is the full palette (the synchronous schedule has one slot per class) and
-  // is charged as such.
-  std::vector<std::pair<std::uint64_t, int>> by_class;
-  for (int i = 0; i < view.num_items(); ++i) {
-    if (!view.active(i)) continue;
+  // is charged as such.  The gather runs per lane (feasibility checks
+  // included); lanes concatenated in lane order visit items in ascending id
+  // order, and the sort canonicalizes the class order either way.
+  LaneScratch<std::vector<std::pair<std::uint64_t, int>>> gather(ex.lanes());
+  ex.for_indices(view.num_items(), [&](int lane, int i) {
+    if (!view.active(i)) return;
     QPLEC_REQUIRE_MSG(lists[static_cast<std::size_t>(i)].size() >= view.degree(i) + 1,
                       "greedy feasibility violated at item "
                           << i << ": list " << lists[static_cast<std::size_t>(i)].size()
                           << " < deg+1 = " << view.degree(i) + 1);
     QPLEC_REQUIRE(phi[static_cast<std::size_t>(i)] < palette);
-    by_class.emplace_back(phi[static_cast<std::size_t>(i)], i);
+    gather.lane(lane).emplace_back(phi[static_cast<std::size_t>(i)], i);
+  });
+  std::vector<std::pair<std::uint64_t, int>> by_class;
+  for (int lane = 0; lane < gather.num_lanes(); ++lane) {
+    by_class.insert(by_class.end(), gather.lane(lane).begin(), gather.lane(lane).end());
   }
   std::sort(by_class.begin(), by_class.end());
   ledger.charge(static_cast<std::int64_t>(palette), "greedy-sweep");
 
-  std::vector<Color> forbidden;
+  LaneScratch<std::vector<Color>> forbidden_scratch(ex.lanes());
   for (std::size_t pos = 0; pos < by_class.size();) {
     const std::uint64_t cls = by_class[pos].first;
     // All items of this class decide simultaneously; they are pairwise
     // non-conflicting because phi is proper, so reading neighbors' `out`
-    // values (colored in previous classes) is race-free.
+    // values (colored in previous classes) is race-free — which is exactly
+    // what makes the class round an item-owned parallel step.
     std::size_t end = pos;
     while (end < by_class.size() && by_class[end].first == cls) ++end;
-    for (std::size_t t = pos; t < end; ++t) {
-      const int i = by_class[t].second;
+    ex.for_indices(static_cast<int>(end - pos), [&](int lane, int t) {
+      const int i = by_class[pos + static_cast<std::size_t>(t)].second;
+      std::vector<Color>& forbidden = forbidden_scratch.lane(lane);
       forbidden.clear();
       view.for_each_neighbor(i, [&](int f) {
         if (out[static_cast<std::size_t>(f)] != kUncolored) {
@@ -51,7 +61,7 @@ void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& l
       const Color c = lists[static_cast<std::size_t>(i)].min_excluding(forbidden);
       QPLEC_ASSERT_MSG(c != kUncolored, "greedy sweep ran out of colors at item " << i);
       out[static_cast<std::size_t>(i)] = c;
-    }
+    });
     pos = end;
   }
 }
@@ -60,12 +70,13 @@ ConflictSolveResult solve_conflict_list(const ConflictView& view,
                                         const std::vector<ColorList>& lists,
                                         const std::vector<std::uint64_t>& phi0,
                                         std::uint64_t palette0, int degree_bound,
-                                        std::vector<Color>& out, RoundLedger& ledger) {
+                                        std::vector<Color>& out, RoundLedger& ledger,
+                                        const ExecBackend* exec) {
   ConflictSolveResult res;
-  LinialResult lin = linial_reduce(view, phi0, palette0, degree_bound, ledger);
+  LinialResult lin = linial_reduce(view, phi0, palette0, degree_bound, ledger, exec);
   res.linial_rounds = lin.rounds;
   res.sweep_palette = lin.palette;
-  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger);
+  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger, exec);
   return res;
 }
 

@@ -16,6 +16,7 @@
 #include "src/coloring/conflict.hpp"
 #include "src/coloring/palette.hpp"
 #include "src/coloring/problem.hpp"
+#include "src/dist/backend.hpp"
 #include "src/local/ledger.hpp"
 
 namespace qplec {
@@ -28,9 +29,15 @@ namespace qplec {
 ///
 /// Requires |lists[i]| >= degree(i) + 1 for every active item (the greedy
 /// feasibility condition); violations throw.
+///
+/// The items of one class are pairwise non-conflicting (phi is proper), so
+/// each class round is an item-owned parallel step: with a non-null `exec`
+/// the round fans out over the backend's lanes (neighbor-color scratch held
+/// per lane), and the result is bit-identical to the serial sweep.
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
-                       std::vector<Color>& out, RoundLedger& ledger);
+                       std::vector<Color>& out, RoundLedger& ledger,
+                       const ExecBackend* exec = nullptr);
 
 struct ConflictSolveResult {
   int linial_rounds = 0;
@@ -39,12 +46,14 @@ struct ConflictSolveResult {
 
 /// Full base-case list coloring on a conflict view: Linial-reduce the given
 /// initial proper coloring (phi0, palette0) to an O(d^2) palette, then sweep.
-/// Writes into out[item] for active items.
+/// Writes into out[item] for active items.  Both stages run their per-item
+/// passes on `exec` (null = serial backend) with bit-identical results.
 ConflictSolveResult solve_conflict_list(const ConflictView& view,
                                         const std::vector<ColorList>& lists,
                                         const std::vector<std::uint64_t>& phi0,
                                         std::uint64_t palette0, int degree_bound,
-                                        std::vector<Color>& out, RoundLedger& ledger);
+                                        std::vector<Color>& out, RoundLedger& ledger,
+                                        const ExecBackend* exec = nullptr);
 
 /// Centralized sequential greedy (not a distributed algorithm): colors edges
 /// in id order with the smallest available list color.  Ground truth that a

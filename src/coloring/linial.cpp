@@ -35,14 +35,16 @@ LinialParams choose_linial_params(std::uint64_t palette, int degree_bound) {
 
 std::vector<std::uint64_t> linial_step(const ConflictView& view,
                                        const std::vector<std::uint64_t>& colors,
-                                       LinialParams params) {
+                                       LinialParams params, const ExecBackend* exec) {
+  const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   const std::uint32_t q = params.q;
   const int k = params.k;
   QPLEC_REQUIRE(q >= 2);
 
-  // Precompute every active item's polynomial once.
+  // Precompute every active item's polynomial once (the construction pass is
+  // O(active * k) and stays serial; the eval scan below is the hot part).
   std::vector<GFPoly> polys;
-  polys.reserve(static_cast<std::size_t>(view.num_items()));
+  polys.reserve(static_cast<std::size_t>(view.num_active()));
   std::vector<int> poly_index(static_cast<std::size_t>(view.num_items()), -1);
   for (int i = 0; i < view.num_items(); ++i) {
     if (!view.active(i)) continue;
@@ -50,13 +52,19 @@ std::vector<std::uint64_t> linial_step(const ConflictView& view,
     polys.push_back(GFPoly::from_integer(colors[static_cast<std::size_t>(i)], q, k));
   }
 
-  // Inactive items keep their previous colors untouched.
+  // Inactive items keep their previous colors untouched.  Each active item
+  // reads the committed previous-round colors/polynomials of its neighbors
+  // and writes only next[i], so the scan fans out over the backend's lanes;
+  // the neighbor-pointer working set lives in per-lane scratch, one resident
+  // allocation per shard.
   std::vector<std::uint64_t> next = colors;
-  for (int i = 0; i < view.num_items(); ++i) {
-    if (!view.active(i)) continue;
-    const GFPoly& mine = polys[static_cast<std::size_t>(poly_index[static_cast<std::size_t>(i)])];
-    // Gather neighbor polynomials (the messages of this round).
-    std::vector<const GFPoly*> nbrs;
+  LaneScratch<std::vector<const GFPoly*>> nbr_scratch(ex.lanes());
+  ex.for_indices(view.num_items(), [&](int lane, int i) {
+    if (!view.active(i)) return;
+    const GFPoly& mine =
+        polys[static_cast<std::size_t>(poly_index[static_cast<std::size_t>(i)])];
+    std::vector<const GFPoly*>& nbrs = nbr_scratch.lane(lane);
+    nbrs.clear();
     view.for_each_neighbor(i, [&](int f) {
       QPLEC_ASSERT_MSG(colors[static_cast<std::size_t>(f)] != colors[static_cast<std::size_t>(i)],
                        "linial_step requires a proper input coloring");
@@ -86,12 +94,14 @@ std::vector<std::uint64_t> linial_step(const ConflictView& view,
     }
     QPLEC_ASSERT_MSG(found, "no good evaluation point — degree bound violated? (q=" << q
                                 << ", k=" << k << ", deg=" << nbrs.size() << ")");
-  }
+  });
   return next;
 }
 
 LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> colors,
-                           std::uint64_t palette, int degree_bound, RoundLedger& ledger) {
+                           std::uint64_t palette, int degree_bound, RoundLedger& ledger,
+                           const ExecBackend* exec) {
+  const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   QPLEC_REQUIRE(colors.size() == static_cast<std::size_t>(view.num_items()));
   LinialResult out;
   out.colors = std::move(colors);
@@ -103,12 +113,12 @@ LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> 
     if (params.q == 0) break;  // fixpoint
     const std::uint64_t new_palette =
         static_cast<std::uint64_t>(params.q) * static_cast<std::uint64_t>(params.q);
-    out.colors = linial_step(view, out.colors, params);
+    out.colors = linial_step(view, out.colors, params, &ex);
     out.palette = new_palette;
     ++out.rounds;
     ledger.charge(1, "linial");
   }
-  QPLEC_ASSERT(is_proper_on_conflict(view, out.colors));
+  QPLEC_ASSERT(is_proper_on_conflict(view, out.colors, ex));
   return out;
 }
 

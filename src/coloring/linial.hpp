@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/coloring/conflict.hpp"
+#include "src/dist/backend.hpp"
 #include "src/local/ledger.hpp"
 
 namespace qplec {
@@ -42,12 +43,17 @@ struct LinialResult {
 /// `colors` must be a proper coloring of the active items of `view` with
 /// values in [0, palette); degree_bound must upper-bound the conflict degree
 /// of every active item.  Charges one round per iteration to the ledger.
+/// The per-item passes run on `exec` (null = the serial backend): every step
+/// writes only its own item's slot and reads the previous round's committed
+/// colors, so results are bit-identical for any backend and lane count.
 LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> colors,
-                           std::uint64_t palette, int degree_bound, RoundLedger& ledger);
+                           std::uint64_t palette, int degree_bound, RoundLedger& ledger,
+                           const ExecBackend* exec = nullptr);
 
 /// One reduction step with explicit parameters (exposed for tests).
 std::vector<std::uint64_t> linial_step(const ConflictView& view,
                                        const std::vector<std::uint64_t>& colors,
-                                       LinialParams params);
+                                       LinialParams params,
+                                       const ExecBackend* exec = nullptr);
 
 }  // namespace qplec

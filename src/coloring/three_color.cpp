@@ -7,16 +7,18 @@ namespace qplec {
 
 ThreeColorResult three_color_paths_cycles(const ConflictView& view,
                                           const std::vector<std::uint64_t>& phi,
-                                          std::uint64_t palette, RoundLedger& ledger) {
-  QPLEC_REQUIRE_MSG(view.max_degree() <= 2,
+                                          std::uint64_t palette, RoundLedger& ledger,
+                                          const ExecBackend* exec) {
+  const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
+  QPLEC_REQUIRE_MSG(max_conflict_degree(view, &ex) <= 2,
                     "three_color_paths_cycles requires a degree-<=2 conflict graph");
   ThreeColorResult out;
   out.colors.assign(static_cast<std::size_t>(view.num_items()), kUncolored);
   const std::vector<ColorList> lists(static_cast<std::size_t>(view.num_items()),
                                      ColorList::range(0, 3));
-  const auto sub = solve_conflict_list(view, lists, phi, palette, 2, out.colors, ledger);
+  const auto sub = solve_conflict_list(view, lists, phi, palette, 2, out.colors, ledger, &ex);
   out.rounds = sub.linial_rounds + static_cast<int>(sub.sweep_palette);
-  QPLEC_ASSERT(is_proper_on_conflict(view, out.colors));
+  QPLEC_ASSERT(is_proper_on_conflict(view, out.colors, ex));
   return out;
 }
 

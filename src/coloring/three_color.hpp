@@ -14,6 +14,7 @@
 
 #include "src/coloring/conflict.hpp"
 #include "src/coloring/palette.hpp"
+#include "src/dist/backend.hpp"
 #include "src/local/ledger.hpp"
 
 namespace qplec {
@@ -24,9 +25,12 @@ struct ThreeColorResult {
 };
 
 /// view must have maximum conflict degree <= 2 (throws otherwise);
-/// phi/palette: a proper initial coloring of the active items.
+/// phi/palette: a proper initial coloring of the active items.  The inner
+/// Linial reduction and class sweep run their per-item passes on `exec`
+/// (null = serial backend) with bit-identical results.
 ThreeColorResult three_color_paths_cycles(const ConflictView& view,
                                           const std::vector<std::uint64_t>& phi,
-                                          std::uint64_t palette, RoundLedger& ledger);
+                                          std::uint64_t palette, RoundLedger& ledger,
+                                          const ExecBackend* exec = nullptr);
 
 }  // namespace qplec

@@ -11,6 +11,7 @@
 
 #include "src/coloring/conflict.hpp"
 #include "src/coloring/problem.hpp"
+#include "src/dist/reducer.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/subset.hpp"
 
@@ -60,6 +61,27 @@ bool is_proper_on_conflict(const ConflictView& view, const std::vector<ColorT>& 
     }
   }
   return true;
+}
+
+/// Backend-parallel variant of the properness check: the item scan fans out
+/// over the backend's lanes and the per-lane verdicts fold with an
+/// order-invariant `all`.  Used by the hot asserts inside the base-case
+/// primitives so a sharded solve does not serialize on its own validators.
+template <typename ColorT>
+bool is_proper_on_conflict(const ConflictView& view, const std::vector<ColorT>& colors,
+                           const ExecBackend& exec) {
+  DeterministicReducer<char> ok(exec.lanes(), 1);
+  exec.for_indices(view.num_items(), [&](int lane, int i) {
+    if (!view.active(i) || ok.lane(lane) == 0) return;
+    bool good = true;
+    view.for_each_neighbor(i, [&](int f) {
+      if (colors[static_cast<std::size_t>(i)] == colors[static_cast<std::size_t>(f)]) {
+        good = false;
+      }
+    });
+    if (!good) ok.lane(lane) = 0;
+  });
+  return ok.all();
 }
 
 }  // namespace qplec

@@ -39,7 +39,8 @@ void SolverEngine::note_depth(int depth) {
 
 EdgeColoring SolverEngine::solve() {
   if (g_.num_edges() > 0) {
-    QPLEC_ASSERT(is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_));
+    QPLEC_ASSERT(
+        is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
     solve_no_slack(EdgeSubset::all(g_), base_depth_);
   }
   std::string why;
@@ -49,7 +50,8 @@ EdgeColoring SolverEngine::solve() {
 
 EdgeColoring SolverEngine::solve_relaxed_instance(double slack) {
   if (g_.num_edges() > 0) {
-    QPLEC_ASSERT(is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_));
+    QPLEC_ASSERT(
+        is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
     solve_relaxed(EdgeSubset::all(g_), slack, 0, palette_, base_depth_);
   }
   std::string why;
@@ -87,7 +89,7 @@ void SolverEngine::solve_basecase(const EdgeSubset& H) {
                          H.induced_edge_degree(g_, e) + 1,
                      "base case feasibility violated at edge " << e);
   });
-  solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_);
+  solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_, exec_);
   H.for_each([&](EdgeId e) {
     QPLEC_ASSERT(final_[static_cast<std::size_t>(e)] != kUncolored);
   });
@@ -116,7 +118,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
     const int beta = policy_.beta(d);
     ++stats_.defective_calls;
     const DefectiveColoring dc =
-        defective_edge_coloring(g_, H, beta, phi_, phi_palette_, ledger_);
+        defective_edge_coloring(g_, H, beta, phi_, phi_palette_, ledger_, exec_);
 
     // Degrees at phase start drive both the activity test and the defect
     // tightness statistic.  The ratio folds through a per-lane max (order-

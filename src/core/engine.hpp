@@ -61,9 +61,11 @@ class SolverEngine {
  public:
   /// lists: working lists (consumed); palette: colors lie in [0, palette);
   /// phi/phi_palette: proper edge coloring of g seeding the primitives.
-  /// exec: execution backend for the per-round edge steps (null = serial);
-  /// the backend must shard this g.  Children created by the recursion run
-  /// serial: their virtual graphs are orders of magnitude smaller.
+  /// exec: execution backend for the per-round edge steps AND the base-case
+  /// primitive passes (Linial reduction, defective split, conflict solves —
+  /// src/coloring routes through it); null = serial; the backend must shard
+  /// this g.  Children created by the recursion run serial: their virtual
+  /// graphs are orders of magnitude smaller.
   SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                const Policy& policy, RoundLedger& ledger, SolverStats& stats, int depth,

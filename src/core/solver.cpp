@@ -54,7 +54,7 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) 
   LinialResult lin;
   {
     auto scope = ledger.sequential("initial-coloring");
-    lin = linial_reduce(view, init.colors, init.palette, g.max_edge_degree(), ledger);
+    lin = linial_reduce(view, init.colors, init.palette, g.max_edge_degree(), ledger, exec);
   }
   res.initial_rounds = ledger.total();
   res.phi_palette = lin.palette;

@@ -16,13 +16,30 @@ void SerialBackend::for_indices(int count, const std::function<void(int, int)>& 
   for (int i = 0; i < count; ++i) fn(0, i);
 }
 
+void SerialBackend::for_nodes(const Graph& g,
+                              const std::function<void(int, NodeId)>& fn) const {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) fn(0, v);
+}
+
+int ExecOptions::pool_threads() const {
+  if (num_threads > 0) return num_threads;
+  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return std::min(std::max(1, shards), hw);
+}
+
 const ExecBackend& serial_backend() {
   static const SerialBackend backend;
   return backend;
 }
 
+// The node partition is capped at the edge-shard count so a for_nodes lane
+// index always fits accumulators sized by lanes() (on a tree the edge
+// universe clamps to n-1 shards while the node universe could take n).
 ShardedBackend::ShardedBackend(const Graph& g, int shards, ThreadPool& pool)
-    : g_(&g), partition_(g, shards), pool_(&pool) {}
+    : g_(&g),
+      partition_(g, shards),
+      node_partition_(g, partition_.num_shards()),
+      pool_(&pool) {}
 
 void ShardedBackend::for_members(const EdgeSubset& s,
                                  const std::function<void(int, EdgeId)>& fn) const {
@@ -39,6 +56,18 @@ void ShardedBackend::for_members(const EdgeSubset& s,
 void ShardedBackend::for_indices(int count, const std::function<void(int, int)>& fn) const {
   QPLEC_REQUIRE(count >= 0);
   if (count == 0) return;
+  if (count == g_->num_edges()) {
+    // An index space the size of the edge universe is (in every current
+    // caller, and harmlessly otherwise) edge-indexed: reuse the
+    // degree-balanced edge shards instead of an even count split, so hub
+    // edges don't pile into one lane.  Any contiguous ascending lane split
+    // is equivalent for determinism.
+    pool_->run_indexed(partition_.num_shards(), [&](int, int shard) {
+      const EdgeShard& es = partition_.shard(shard);
+      for (EdgeId e = es.edge_begin; e < es.edge_end; ++e) fn(shard, static_cast<int>(e));
+    });
+    return;
+  }
   const int lanes = std::min(partition_.num_shards(), count);
   pool_->run_indexed(lanes, [&](int, int lane) {
     const int begin = static_cast<int>(static_cast<std::int64_t>(count) * lane / lanes);
@@ -47,12 +76,22 @@ void ShardedBackend::for_indices(int count, const std::function<void(int, int)>&
   });
 }
 
+void ShardedBackend::for_nodes(const Graph& g,
+                               const std::function<void(int, NodeId)>& fn) const {
+  QPLEC_REQUIRE_MSG(&g == g_, "for_nodes graph does not match the sharded graph");
+  pool_->run_indexed(node_partition_.num_shards(), [&](int, int shard) {
+    const NodeShard& ns = node_partition_.shard(shard);
+    for (NodeId v = ns.node_begin; v < ns.node_end; ++v) fn(shard, v);
+  });
+}
+
 ShardedExecution::ShardedExecution(const Graph& g, const ExecOptions& options) {
-  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  const int threads = options.num_threads > 0 ? options.num_threads
-                                              : std::min(std::max(1, options.shards), hw);
-  pool_ = std::make_unique<ThreadPool>(threads);
-  backend_ = std::make_unique<ShardedBackend>(g, options.shards, *pool_);
+  ThreadPool* pool = options.shared_pool;
+  if (pool == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(options.pool_threads());
+    pool = owned_pool_.get();
+  }
+  backend_ = std::make_unique<ShardedBackend>(g, options.shards, *pool);
 }
 
 ShardedExecution::~ShardedExecution() = default;

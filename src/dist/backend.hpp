@@ -7,12 +7,15 @@
 // calling thread (the seed behavior, and the right choice for the small
 // instances the batch runtime sweeps), ShardedBackend fans the subset out
 // over contiguous degree-balanced edge shards on a ThreadPool and joins at
-// the round barrier.
+// the round barrier.  The base-case primitives (Linial reduction, the
+// defective split, greedy class sweeps behind ConflictView) run their
+// per-node and per-item passes through the same interface, so a sharded
+// solve parallelizes all the way down, not just the outer recursion.
 //
 // Contract for step functions fn(lane, e):
 //   * fn may mutate only state owned by edge e (its working list, its final
 //     color, per-edge scratch slots) plus accumulators indexed by `lane`
-//     (see DeterministicReducer);
+//     (see DeterministicReducer and LaneScratch);
 //   * fn must not charge the ledger (the caller charges the round once,
 //     outside the parallel region) and must not recurse into the engine.
 // Lanes cover contiguous ascending id ranges, so per-lane partial results
@@ -37,11 +40,19 @@ struct ExecOptions {
   /// Number of shards one instance is split into; <= 1 runs serial.
   int shards = 1;
   /// Worker threads backing the sharded backend; <= 0 picks
-  /// min(shards, hardware concurrency).
+  /// min(shards, hardware concurrency).  Ignored when shared_pool is set
+  /// (the lease carries its own size).
   int num_threads = 0;
   /// Instances with fewer edges than this stay on the serial path even when
   /// shards > 1 (per-round fan-out overhead dwarfs the step work below it).
   int min_sharded_edges = 20000;
+  /// Leased worker pool (non-owning).  When set, every ShardedExecution
+  /// built from these options runs on this pool instead of spawning its own
+  /// threads — the BatchSolver sizes one pool for the whole batch and leases
+  /// it to each instance's sharded solve.  The pool must outlive every
+  /// solver carrying these options; concurrent solves serialize their round
+  /// fan-outs on it (ThreadPool::run_indexed is lease-safe).
+  ThreadPool* shared_pool = nullptr;
 
   /// True when this configuration shards a graph of `num_edges` edges.
   bool wants_sharding(int num_edges) const {
@@ -56,6 +67,12 @@ struct ExecOptions {
     if (!wants_sharding(num_edges)) return 1;
     return shards < num_edges ? shards : (num_edges > 1 ? num_edges : 1);
   }
+
+  /// Worker count a shard pool built from these options gets: num_threads if
+  /// set, else min(shards, hardware concurrency).  The single sizing policy
+  /// for both a solve-owned pool (ShardedExecution) and the batch-wide
+  /// shared pool (BatchSolver).
+  int pool_threads() const;
 };
 
 class ExecBackend {
@@ -73,6 +90,43 @@ class ExecBackend {
   /// Runs fn(lane, i) for every i in [0, count); lanes cover contiguous
   /// ascending index blocks.
   virtual void for_indices(int count, const std::function<void(int, int)>& fn) const = 0;
+
+  /// Runs fn(lane, v) for every node v of g; lanes cover contiguous
+  /// ascending node ranges (degree-balanced on the sharded path).  The
+  /// per-node passes of the base-case primitives (defective numbering,
+  /// same-group conflict detection) run through this: a node may mutate only
+  /// state owned by its own incident (node, port) slots plus lane-indexed
+  /// accumulators.  On a sharded backend g must be the sharded graph.
+  virtual void for_nodes(const Graph& g,
+                         const std::function<void(int, NodeId)>& fn) const = 0;
+};
+
+/// Per-lane scratch slots for the reusable working sets of a parallel pass
+/// (neighbor-color buffers, polynomial pointer lists, conflict-pair sinks).
+/// Unlike DeterministicReducer there is no fold: the contents are transient
+/// working memory that stays resident in one lane across the steps it runs,
+/// so a hot round loop reuses one allocation per shard instead of one per
+/// item.  Slots are cache-line padded against false sharing.
+template <typename T>
+class LaneScratch {
+ public:
+  explicit LaneScratch(int lanes) {
+    QPLEC_REQUIRE(lanes >= 1);
+    slots_.resize(static_cast<std::size_t>(lanes));
+  }
+
+  int num_lanes() const { return static_cast<int>(slots_.size()); }
+
+  T& lane(int l) {
+    QPLEC_REQUIRE(l >= 0 && l < num_lanes());
+    return slots_[static_cast<std::size_t>(l)].value;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    T value{};
+  };
+  std::vector<Slot> slots_;
 };
 
 /// The seed execution strategy: one lane, steps on the calling thread.
@@ -82,6 +136,8 @@ class SerialBackend final : public ExecBackend {
   void for_members(const EdgeSubset& s,
                    const std::function<void(int, EdgeId)>& fn) const override;
   void for_indices(int count, const std::function<void(int, int)>& fn) const override;
+  void for_nodes(const Graph& g,
+                 const std::function<void(int, NodeId)>& fn) const override;
 };
 
 /// The process-wide serial backend (stateless, shared by every engine that
@@ -90,7 +146,8 @@ const ExecBackend& serial_backend();
 
 /// Shards the edge-id universe of one graph over a thread pool.  One lane
 /// per edge shard; for_members iterates each shard's id range on its own
-/// worker.  The pool must outlive the backend.
+/// worker; for_nodes iterates the degree-balanced node shards of the same
+/// graph.  The pool must outlive the backend.
 class ShardedBackend final : public ExecBackend {
  public:
   ShardedBackend(const Graph& g, int shards, ThreadPool& pool);
@@ -101,15 +158,21 @@ class ShardedBackend final : public ExecBackend {
   void for_members(const EdgeSubset& s,
                    const std::function<void(int, EdgeId)>& fn) const override;
   void for_indices(int count, const std::function<void(int, int)>& fn) const override;
+  void for_nodes(const Graph& g,
+                 const std::function<void(int, NodeId)>& fn) const override;
 
  private:
   const Graph* g_;
   EdgePartition partition_;
+  NodePartition node_partition_;
   ThreadPool* pool_;
 };
 
 /// Bundles the pool + backend lifetime for one sharded solve: the Solver
-/// materializes one of these per instance it decides to shard.
+/// materializes one of these per instance it decides to shard.  With
+/// ExecOptions::shared_pool set the execution runs on the leased pool and
+/// owns no threads of its own; otherwise it spawns (and joins) a pool sized
+/// min(shards, hardware concurrency).
 class ShardedExecution {
  public:
   ShardedExecution(const Graph& g, const ExecOptions& options);
@@ -118,7 +181,7 @@ class ShardedExecution {
   const ExecBackend& backend() const { return *backend_; }
 
  private:
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< null when running on a lease
   std::unique_ptr<ShardedBackend> backend_;
 };
 

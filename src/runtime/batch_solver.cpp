@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #include "src/coloring/validate.hpp"
@@ -52,6 +53,19 @@ int BatchSolver::num_threads() const {
 }
 
 BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
+  // One shard-worker pool for the whole batch, leased to every sharded
+  // solve: sized once (like a standalone ShardedExecution would size
+  // itself), spawned once, and shared — concurrent sharded solves serialize
+  // their round fan-outs on it instead of oversubscribing the machine with
+  // per-instance pools.  Declared before the scenario pool so it outlives
+  // every worker that might hold the lease.
+  ExecOptions exec = options_.exec;
+  std::unique_ptr<ThreadPool> shard_pool;
+  if (exec.shards > 1 && exec.shared_pool == nullptr) {
+    shard_pool = std::make_unique<ThreadPool>(exec.pool_threads());
+    exec.shared_pool = shard_pool.get();
+  }
+
   ThreadPool pool(options_.num_threads);
 
   BatchReport report;
@@ -59,7 +73,7 @@ BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
   report.results.resize(manifest.size());
 
   std::vector<WorkerScratch> scratch(static_cast<std::size_t>(pool.num_threads()),
-                                     WorkerScratch(options_.exec));
+                                     WorkerScratch(exec));
 
   const auto batch_start = std::chrono::steady_clock::now();
   pool.run_indexed(static_cast<int>(manifest.size()), [&](int worker_id, int index) {

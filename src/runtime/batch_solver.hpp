@@ -27,8 +27,12 @@ struct BatchOptions {
   bool keep_colors = false;  ///< retain full colorings in the results
   /// Intra-instance execution: with exec.shards > 1, any instance whose edge
   /// count reaches exec.min_sharded_edges is routed to the sharded backend
-  /// (src/dist) — one pool per such solve — while the rest of the manifest
-  /// keeps the serial per-worker path.  Results are identical either way.
+  /// (src/dist) while the rest of the manifest keeps the serial per-worker
+  /// path.  The batch creates ONE sized shard-worker pool and leases it to
+  /// every sharded solve (exec.shared_pool is set internally; a caller-
+  /// provided pool is honored) — no per-instance thread spawn, no
+  /// oversubscription when several large instances solve concurrently.
+  /// Results are identical either way.
   ExecOptions exec;
 };
 

@@ -33,6 +33,11 @@ void ThreadPool::run_indexed(int num_tasks, const std::function<void(int, int)>&
   QPLEC_REQUIRE(num_tasks >= 0);
   if (num_tasks == 0) return;
 
+  // One batch at a time: a leased pool can be hit by several sharded solves
+  // concurrently, and the queues/epoch/error state below assume exclusive
+  // ownership for the duration of one batch.
+  std::lock_guard<std::mutex> lease(lease_mu_);
+
   // Seed each worker's deque with a contiguous block of indices.
   const int n_workers = num_threads();
   int next = 0;

@@ -12,6 +12,14 @@
 // the task computes — tasks must derive all randomness from their index
 // (the batch solver seeds per-instance RNG streams from the scenario, not
 // the worker), so results are bit-identical for any worker count.
+//
+// Lease safety: run_indexed may be called concurrently from different
+// threads (the BatchSolver leases one shared pool to every sharded solve of
+// a batch).  Concurrent batches serialize — the pool runs one at a time, in
+// submission-lock order — which is exactly the desired behavior for a lease:
+// round fan-outs of concurrent solves interleave instead of oversubscribing
+// the machine with per-instance pools.  A pool worker must never call
+// run_indexed on its own pool (it would self-deadlock behind the lease).
 #pragma once
 
 #include <condition_variable>
@@ -38,7 +46,9 @@ class ThreadPool {
 
   /// Runs fn(worker_id, task_index) for every task_index in [0, num_tasks),
   /// each exactly once, and blocks until all have finished.  Exceptions
-  /// thrown by fn are captured and the first one is rethrown here.
+  /// thrown by fn are captured and the first one is rethrown here.  Safe to
+  /// call from multiple external threads at once: concurrent calls run their
+  /// batches back to back (see the lease-safety note above).
   void run_indexed(int num_tasks, const std::function<void(int, int)>& fn);
 
  private:
@@ -53,6 +63,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
 
+  std::mutex lease_mu_;  // serializes whole run_indexed calls (lease safety)
   std::mutex batch_mu_;
   std::condition_variable batch_cv_;   // wakes workers when a batch arrives
   std::condition_variable done_cv_;    // wakes run_indexed when a batch drains

@@ -1,0 +1,36 @@
+// The CI smoke manifest, shared by every test that must cover exactly the
+// scenarios CI's smoke + golden gates run.
+//
+// Mirrors examples/manifests/smoke.txt; keep in sync (tests cannot portably
+// locate the file at runtime, so the lines live here ONCE and the manifest
+// stays the single source for CI).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/runtime/scenarios.hpp"
+
+namespace qplec {
+namespace test_support {
+
+inline std::vector<Scenario> smoke_scenarios() {
+  static const char* const kSmokeManifest[] = {
+      "cycle 31 two_delta practical 42",
+      "complete 12 two_delta practical 42",
+      "regular 40 random_lists practical 42",
+      "tree 70 two_delta practical 42",
+      "complete 8 two_delta paper 42",
+  };
+  std::vector<Scenario> out;
+  for (const char* line : kSmokeManifest) {
+    Scenario s;
+    EXPECT_TRUE(parse_scenario_line(line, &s)) << line;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace test_support
+}  // namespace qplec

@@ -17,28 +17,12 @@
 #include "src/runtime/batch_solver.hpp"
 #include "src/runtime/scenarios.hpp"
 #include "src/runtime/thread_pool.hpp"
+#include "tests/support/smoke_manifest.hpp"
 
 namespace qplec {
 namespace {
 
-// Mirrors examples/manifests/smoke.txt (the CI smoke manifest); keep in sync.
-const char* const kSmokeManifest[] = {
-    "cycle 31 two_delta practical 42",
-    "complete 12 two_delta practical 42",
-    "regular 40 random_lists practical 42",
-    "tree 70 two_delta practical 42",
-    "complete 8 two_delta paper 42",
-};
-
-std::vector<Scenario> smoke_scenarios() {
-  std::vector<Scenario> out;
-  for (const char* line : kSmokeManifest) {
-    Scenario s;
-    EXPECT_TRUE(parse_scenario_line(line, &s));
-    out.push_back(s);
-  }
-  return out;
-}
+using test_support::smoke_scenarios;
 
 /// Flood the maximum id within `radius` hops: init broadcasts the own id,
 /// every round folds the inbox into the running max and re-broadcasts, and

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Perf/determinism regression gate for batch_solve reports.
+
+Compares the per-scenario fingerprint of a BENCH_*.json report produced by
+``batch_solve`` — (name, colors_hash, rounds, raw_rounds) — against a
+committed golden file, and verifies every scenario solved to a valid
+coloring.  CI runs this on the Release legs against
+``bench/golden/BENCH_smoke.golden.json``; any drift in the solver's output
+(a changed coloring, a changed round count) fails the build until the golden
+is deliberately re-baselined.
+
+Usage:
+    check_golden.py REPORT GOLDEN          # gate: compare REPORT to GOLDEN
+    check_golden.py REPORT GOLDEN --write  # re-baseline: write GOLDEN from REPORT
+
+The golden file stores only the fingerprint fields, so re-baselining after
+an intentional algorithm change produces a minimal, reviewable diff.
+"""
+
+import argparse
+import json
+import sys
+
+FINGERPRINT_FIELDS = ("colors_hash", "rounds", "raw_rounds")
+
+
+def fingerprint(report):
+    """Per-scenario fingerprint list from a batch_solve JSON report."""
+    out = []
+    for s in report["scenarios"]:
+        entry = {"name": s["name"]}
+        for field in FINGERPRINT_FIELDS:
+            entry[field] = s[field]
+        out.append(entry)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_*.json written by batch_solve")
+    parser.add_argument("golden", help="committed golden fingerprint file")
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="re-baseline: overwrite GOLDEN with REPORT's fingerprint",
+    )
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+
+    invalid = [s["name"] for s in report["scenarios"] if not s.get("valid", False)]
+    if invalid:
+        print(f"FAIL: invalid colorings in {args.report}: {', '.join(invalid)}")
+        return 1
+
+    actual = fingerprint(report)
+
+    if args.write:
+        golden = {
+            "comment": "golden batch_solve fingerprint; re-baseline with "
+            "tools/check_golden.py REPORT GOLDEN --write",
+            "scenarios": actual,
+        }
+        with open(args.golden, "w") as f:
+            json.dump(golden, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.golden} ({len(actual)} scenarios)")
+        return 0
+
+    with open(args.golden) as f:
+        expected = json.load(f)["scenarios"]
+
+    failures = []
+    expected_by_name = {e["name"]: e for e in expected}
+    actual_by_name = {a["name"]: a for a in actual}
+    for name in expected_by_name:
+        if name not in actual_by_name:
+            failures.append(f"missing scenario: {name}")
+    for name in actual_by_name:
+        if name not in expected_by_name:
+            failures.append(f"unexpected scenario: {name}")
+    for name, exp in expected_by_name.items():
+        act = actual_by_name.get(name)
+        if act is None:
+            continue
+        for field in FINGERPRINT_FIELDS:
+            if act[field] != exp[field]:
+                failures.append(
+                    f"{name}: {field} drifted — golden {exp[field]!r}, got {act[field]!r}"
+                )
+
+    if failures:
+        print(f"FAIL: {args.report} drifted from {args.golden}:")
+        for line in failures:
+            print(f"  {line}")
+        print("If the change is intentional, re-baseline with --write and commit.")
+        return 1
+
+    print(f"OK: {len(actual)} scenarios match {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
