@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/support.hpp"
 #include "src/coloring/problem.hpp"
 #include "src/core/solver.hpp"
 #include "src/dist/partition.hpp"
@@ -84,8 +85,10 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace qplec;
 
-  int nodes = 25600;
-  int degree = 16;  // 25600 * 16 / 2 = 204800 edges, above the 200k target
+  // The shared stressor parameters (bench/support.hpp): 204800 edges at the
+  // defaults, above the 200k target.
+  int nodes = bench::kStressRegularNodes;
+  int degree = bench::kStressRegularDegree;
   int repeats = 1;
   std::vector<int> shard_counts{1, 2, 4, 8};
   std::string out_path = "BENCH_sharded.json";
@@ -140,14 +143,13 @@ int main(int argc, char** argv) {
   };
   std::vector<Workload> workloads;
   std::printf("building graphs...\n");
-  workloads.push_back({"regular", make_random_regular(nodes, degree, 42)});
+  workloads.push_back({"regular", bench::make_regular_stressor(nodes, degree)});
   if (power_law) {
     // Skew-stress workload: bounded-max-degree power-law graphs are sparse
     // (far below the regular graph's edge count at any sane size), so this
     // one exists to exercise the degree-balanced partitioner against hubs,
     // not to add scale.
-    workloads.push_back(
-        {"power_law", make_power_law(nodes * 4, 2.5, 8.0 * degree, 42)});
+    workloads.push_back({"power_law", bench::make_power_law_stressor(nodes, degree)});
   }
 
   // One leased worker pool for every sharded solve of the sweep (the

@@ -12,11 +12,46 @@
 #include <string>
 #include <vector>
 
+#include "src/graph/generators.hpp"
 #include "src/runtime/batch_solver.hpp"
 #include "src/runtime/reporter.hpp"
 #include "src/runtime/scenarios.hpp"
 
 namespace qplec::bench {
+
+// ------------------------------------------------------------- stressors ---
+// The standard large-instance stressors every single-instance scaling bench
+// sweeps (bench_sharded_scaling, bench_neighbor_cache) and CI gates against.
+// One definition here so the 204800-edge regular workload and the heavy-
+// tailed skew workload stay identical across benches instead of each binary
+// hard-coding its own sizes.
+inline constexpr int kStressRegularNodes = 25600;
+inline constexpr int kStressRegularDegree = 16;  // 25600*16/2 = 204800 edges
+/// The power-law stressor takes 4x the regular node count (bounded-degree
+/// power-law graphs are sparse; this exercises hub skew, not scale) ...
+inline constexpr int kStressPowerLawNodeFactor = 4;
+/// Exponent: the sweep-wide default, so the scenario path (batch_solve
+/// --stressors goes through make_family_graph) and the raw bench graphs
+/// genuinely share one definition.
+inline constexpr double kStressPowerLawGamma = kPowerLawDefaultGamma;
+/// ... with max expected degree 8x the regular stressor's degree.
+inline constexpr double kStressPowerLawDegreeFactor = 8.0;
+inline constexpr std::uint64_t kStressSeed = 42;
+
+/// The regular stressor at a custom scale (CI runs reduced --nodes sweeps on
+/// its runners; defaults give the canonical 204800-edge instance).
+inline Graph make_regular_stressor(int nodes = kStressRegularNodes,
+                                   int degree = kStressRegularDegree) {
+  return make_random_regular(nodes, degree, kStressSeed);
+}
+
+/// The heavy-tailed skew stressor matched to a regular sweep of the given
+/// size (node/degree factors above).
+inline Graph make_power_law_stressor(int regular_nodes = kStressRegularNodes,
+                                     int regular_degree = kStressRegularDegree) {
+  return make_power_law(regular_nodes * kStressPowerLawNodeFactor, kStressPowerLawGamma,
+                        kStressPowerLawDegreeFactor * regular_degree, kStressSeed);
+}
 
 /// Fixed-width markdown-style table writer.
 class Table {

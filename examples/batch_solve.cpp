@@ -2,6 +2,7 @@
 //
 //   usage: batch_solve [--threads N] [--manifest file] [--out BENCH_batch.json]
 //                      [--seed N] [--quiet] [--shards N] [--sharded-min-edges M]
+//                      [--no-neighbor-cache] [--stressors]
 //
 // Without --manifest, runs the default sweep (every solver-test scenario
 // plus larger regulars — see default_manifest).  Prints a per-scenario table
@@ -14,6 +15,15 @@
 // the rest on the serial per-worker path; results are identical either way.
 // All sharded solves of one batch lease a single shared worker pool (sized
 // once inside BatchSolver), so --shards never multiplies thread counts.
+// --no-neighbor-cache disables the incremental neighbor-color cache on every
+// solve (the full-rescan reference path; identical output) — CI diffs the
+// two reports to prove it.  --stressors appends large-instance stressor
+// scenarios sized by the shared bench/support.hpp constants (the same
+// 204800-edge regular + power-law parameters every scaling bench sweeps) to
+// the manifest.  NOTE: scenarios go through build_instance — scrambled
+// LOCAL ids, --seed honored — so their fingerprints intentionally differ
+// from the benches' raw fixed-seed stressor graphs; the shared constants
+// align the workload SHAPE, not the exact instance.
 //
 // Manifest format, one scenario per line ('#' comments):
 //   <family> <size> <flavor> <policy> [seed [aux]]
@@ -24,6 +34,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench/support.hpp"
 #include "src/runtime/batch_solver.hpp"
 #include "src/runtime/reporter.hpp"
 #include "src/runtime/scenarios.hpp"
@@ -34,8 +45,23 @@ int usage() {
   std::fprintf(stderr,
                "usage: batch_solve [--threads N] [--manifest file] "
                "[--out BENCH_batch.json] [--seed N] [--quiet] "
-               "[--shards N] [--sharded-min-edges M]\n");
+               "[--shards N] [--sharded-min-edges M] [--no-neighbor-cache] "
+               "[--stressors]\n");
   return 2;
+}
+
+/// The shared stressor workloads as scenarios (bench/support.hpp constants).
+std::vector<qplec::Scenario> stressor_scenarios(std::uint64_t seed) {
+  using namespace qplec;
+  std::vector<Scenario> out;
+  out.push_back(Scenario{GraphFamily::kRegular, bench::kStressRegularNodes,
+                         ListFlavor::kTwoDelta, PolicyKind::kPractical, seed,
+                         bench::kStressRegularDegree});
+  out.push_back(Scenario{
+      GraphFamily::kPowerLaw, bench::kStressRegularNodes * bench::kStressPowerLawNodeFactor,
+      ListFlavor::kTwoDelta, PolicyKind::kPractical, seed,
+      static_cast<int>(bench::kStressPowerLawDegreeFactor * bench::kStressRegularDegree)});
+  return out;
 }
 
 }  // namespace
@@ -49,6 +75,8 @@ int main(int argc, char** argv) {
   std::string manifest_path;
   std::string out_path = "BENCH_batch.json";
   std::uint64_t seed = 42;
+  bool neighbor_cache = true;
+  bool stressors = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +92,10 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--no-neighbor-cache") {
+      neighbor_cache = false;
+    } else if (arg == "--stressors") {
+      stressors = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -87,6 +119,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "manifest error: %s\n", e.what());
     return 1;
   }
+  if (stressors) {
+    for (const Scenario& s : stressor_scenarios(seed)) manifest.push_back(s);
+  }
   if (manifest.empty()) {
     std::fprintf(stderr, "empty manifest\n");
     return 1;
@@ -95,6 +130,7 @@ int main(int argc, char** argv) {
   BatchOptions options;
   options.num_threads = threads;
   options.exec.shards = shards;
+  options.exec.use_neighbor_cache = neighbor_cache;
   if (sharded_min_edges >= 0) options.exec.min_sharded_edges = sharded_min_edges;
   const BatchSolver batch(options);
 

@@ -2,7 +2,7 @@
 //
 //   usage: cli_solve [--algorithm bko|greedy|kw|luby|central] [--seed N]
 //                    [--list-palette C] [--shards N] [--threads N]
-//                    [--verbose] [graph.txt]
+//                    [--no-neighbor-cache] [--verbose] [graph.txt]
 //
 // Input format (stdin if no file): "n m" header plus "u v" lines, or DIMACS
 // "p edge" / "e u v"; '#' and 'c' comments are skipped.
@@ -12,7 +12,10 @@
 // solver's rounds — the base-case primitives included — N-way parallel on
 // the sharded backend (identical output); --threads caps the worker threads
 // backing it (this single-instance CLI owns its pool; batch_solve instead
-// leases one shared pool to all of its sharded solves).  --verbose adds
+// leases one shared pool to all of its sharded solves).
+// --no-neighbor-cache disables the incremental neighbor-color cache
+// (src/dist/neighbor_cache) and re-walks full neighborhoods every round —
+// the reference path; output is bit-identical either way.  --verbose adds
 // wall time, per-round wall time and the ledger's phase breakdown to the
 // summary.
 #include <chrono>
@@ -34,7 +37,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: cli_solve [--algorithm bko|greedy|kw|luby|central] "
                "[--seed N] [--list-palette C] [--shards N] [--threads N] "
-               "[--verbose] [graph.txt]\n");
+               "[--no-neighbor-cache] [--verbose] [graph.txt]\n");
   return 2;
 }
 
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
   Color list_palette = 0;
   int shards = 1;
   int threads = 0;
+  bool neighbor_cache = true;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -62,6 +66,8 @@ int main(int argc, char** argv) {
       shards = std::atoi(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--no-neighbor-cache") {
+      neighbor_cache = false;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
       ExecOptions exec;
       exec.shards = shards;
       exec.num_threads = threads;
+      exec.use_neighbor_cache = neighbor_cache;
       if (shards > 1) exec.min_sharded_edges = 0;  // --shards means shard it
       const auto res = Solver(Policy::practical(), exec).solve(instance);
       colors = res.colors;

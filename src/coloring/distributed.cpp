@@ -21,9 +21,15 @@ namespace {
 ///            without extra coordination.
 ///   rounds 2+L..1+L+m*: greedy sweep.  In class-t's round, the (at most
 ///            one) incident edge of class t picks the smallest list color
-///            not finalized in its neighborhood; broadcasts carry
-///            (phi, final) pairs so each endpoint can identify the shared
-///            edge's entry (phi values are distinct within a node).
+///            not finalized in its neighborhood.  The forbidden sets build
+///            incrementally: sweep broadcasts carry only the (phi, color)
+///            pairs finalized THAT round (phi identifies the shared edge,
+///            which each endpoint skips — it colors it itself), and every
+///            port accumulates the deltas it receives plus the local picks
+///            of its sibling ports, so no round rescans the full
+///            neighborhood state.  The resulting picks are identical to the
+///            full-rescan schedule: a port's accumulator holds exactly the
+///            finalized conflicting colors by the time its class is swept.
 /// The whole schedule (palette sequence, L, m*) is a deterministic function
 /// of public knowledge (id bound B and Delta), so all nodes agree on it.
 class GreedyByClassProgram final : public NodeProgram {
@@ -67,6 +73,7 @@ class GreedyByClassProgram final : public NodeProgram {
         phi_[static_cast<std::size_t>(p)] = a * base + b;
       }
       final_.assign(static_cast<std::size_t>(deg), kUncolored);
+      forbidden_acc_.assign(static_cast<std::size_t>(deg), {});
       broadcast_colors(ctx);
       return;
     }
@@ -84,12 +91,13 @@ class GreedyByClassProgram final : public NodeProgram {
 
     // Sweep phase: class index for this round.
     const std::uint64_t cls = static_cast<std::uint64_t>(ctx.round() - linial_end - 1);
+    ingest_sweep_deltas(ctx);
     sweep_class(ctx, cls);
     if (cls + 1 >= sweep_palette_) {
       emit_and_finish(ctx);
       return;
     }
-    broadcast_colors(ctx);
+    broadcast_sweep_deltas(ctx);
   }
 
  private:
@@ -165,24 +173,57 @@ class GreedyByClassProgram final : public NodeProgram {
     phi_ = std::move(next);
   }
 
+  /// Folds the (phi, color) pairs broadcast last round into the forbidden
+  /// accumulators of the still-uncolored ports.  The first sweep round
+  /// receives the Linial phase's full snapshot instead — every entry still
+  /// uncolored, so the same decode ignores it.  The shared edge's own entry
+  /// (phi match) is skipped: its color is committed locally by both ends.
+  void ingest_sweep_deltas(NodeContext& ctx) {
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (final_[static_cast<std::size_t>(p)] != kUncolored) continue;
+      const Message* m = ctx.received(p);
+      if (m == nullptr) continue;
+      for (std::size_t i = 0; i + 1 < m->words.size(); i += 2) {
+        const Color c = static_cast<Color>(m->words[i + 1]) - 1;
+        if (c == kUncolored) continue;
+        if (m->words[i] == phi_[static_cast<std::size_t>(p)]) continue;
+        forbidden_acc_[static_cast<std::size_t>(p)].push_back(c);
+      }
+    }
+  }
+
   void sweep_class(NodeContext& ctx, std::uint64_t cls) {
+    newly_.clear();
     for (int p = 0; p < ctx.degree(); ++p) {
       if (final_[static_cast<std::size_t>(p)] != kUncolored) continue;
       if (phi_[static_cast<std::size_t>(p)] != cls) continue;
-      std::vector<Color> forbidden;
-      for (int p2 = 0; p2 < ctx.degree(); ++p2) {
-        if (p2 != p && final_[static_cast<std::size_t>(p2)] != kUncolored) {
-          forbidden.push_back(final_[static_cast<std::size_t>(p2)]);
-        }
-      }
-      for_each_remote_neighbor(ctx, p, [&](std::uint64_t, Color c) {
-        if (c != kUncolored) forbidden.push_back(c);
-      });
+      // The accumulator holds exactly the finalized conflicting colors: the
+      // remote ones arrived as deltas, the local sibling picks were appended
+      // at commit time below.
+      std::vector<Color>& forbidden = forbidden_acc_[static_cast<std::size_t>(p)];
       std::sort(forbidden.begin(), forbidden.end());
       const Color pick = lists_[static_cast<std::size_t>(p)].min_excluding(forbidden);
       QPLEC_ASSERT_MSG(pick != kUncolored, "distributed sweep ran out of colors");
       final_[static_cast<std::size_t>(p)] = pick;
+      newly_.push_back(p);
+      for (int p2 = 0; p2 < ctx.degree(); ++p2) {
+        if (p2 != p && final_[static_cast<std::size_t>(p2)] == kUncolored) {
+          forbidden_acc_[static_cast<std::size_t>(p2)].push_back(pick);
+        }
+      }
     }
+  }
+
+  /// Broadcast only this round's newly finalized (phi, color) pairs.
+  void broadcast_sweep_deltas(NodeContext& ctx) {
+    Message m;
+    m.words.reserve(2 * newly_.size());
+    for (const int p : newly_) {
+      m.words.push_back(phi_[static_cast<std::size_t>(p)]);
+      m.words.push_back(
+          static_cast<std::uint64_t>(final_[static_cast<std::size_t>(p)] + 1));
+    }
+    ctx.broadcast(m);
   }
 
   void emit_and_finish(NodeContext& ctx) {
@@ -200,6 +241,8 @@ class GreedyByClassProgram final : public NodeProgram {
   std::vector<std::uint64_t> nbr_id_;
   std::vector<std::uint64_t> phi_;
   std::vector<Color> final_;
+  std::vector<std::vector<Color>> forbidden_acc_;  // per port, delta-fed
+  std::vector<int> newly_;  // ports finalized this round (delta broadcast)
 };
 
 }  // namespace

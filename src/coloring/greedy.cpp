@@ -29,6 +29,9 @@ void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& l
                       "greedy feasibility violated at item "
                           << i << ": list " << lists[static_cast<std::size_t>(i)].size()
                           << " < deg+1 = " << view.degree(i) + 1);
+    QPLEC_REQUIRE_MSG(out[static_cast<std::size_t>(i)] == kUncolored,
+                      "greedy sweep requires active items uncolored at entry (item " << i
+                                                                                    << ")");
     QPLEC_REQUIRE(phi[static_cast<std::size_t>(i)] < palette);
     gather.lane(lane).emplace_back(phi[static_cast<std::size_t>(i)], i);
   });
@@ -39,30 +42,97 @@ void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& l
   std::sort(by_class.begin(), by_class.end());
   ledger.charge(static_cast<std::int64_t>(palette), "greedy-sweep");
 
-  LaneScratch<std::vector<Color>> forbidden_scratch(ex.lanes());
-  for (std::size_t pos = 0; pos < by_class.size();) {
-    const std::uint64_t cls = by_class[pos].first;
-    // All items of this class decide simultaneously; they are pairwise
-    // non-conflicting because phi is proper, so reading neighbors' `out`
-    // values (colored in previous classes) is race-free — which is exactly
-    // what makes the class round an item-owned parallel step.
-    std::size_t end = pos;
-    while (end < by_class.size() && by_class[end].first == cls) ++end;
-    ex.for_indices(static_cast<int>(end - pos), [&](int lane, int t) {
-      const int i = by_class[pos + static_cast<std::size_t>(t)].second;
-      std::vector<Color>& forbidden = forbidden_scratch.lane(lane);
-      forbidden.clear();
-      view.for_each_neighbor(i, [&](int f) {
-        if (out[static_cast<std::size_t>(f)] != kUncolored) {
-          forbidden.push_back(out[static_cast<std::size_t>(f)]);
-        }
-      });
+  // Incremental forbidden-color builds: when an item is colored, its color is
+  // scattered (on the coordinating thread, between rounds) into the
+  // accumulator of every still-uncolored conflict neighbor, so a round never
+  // re-walks neighborhoods against `out` — each item's forbidden set is
+  // complete in its own accumulator by the time its class is swept.  Every
+  // (colored item, neighbor) pair is visited exactly once over the whole
+  // sweep, the same total work one full neighborhood rescan costs.
+  // Accumulators are indexed by the item's by_class SLOT, so the per-call
+  // working set scales with the active items, not the item universe (a base
+  // case on a few edges of a huge graph must not churn O(m) vectors); only
+  // the slot lookup table spans the universe.
+  std::vector<std::int32_t> slot_of(static_cast<std::size_t>(view.num_items()), -1);
+  for (std::size_t t = 0; t < by_class.size(); ++t) {
+    slot_of[static_cast<std::size_t>(by_class[t].second)] = static_cast<std::int32_t>(t);
+  }
+  std::vector<std::vector<Color>> acc(by_class.size());
+  std::vector<std::uint8_t> in_batch(by_class.size(), 0);  // indexed by slot
+
+  // Small-class batching: consecutive classes whose combined size stays
+  // below one fan-out quantum run as ONE parallel region when no item of a
+  // joining class conflicts with an item already in the batch.  Batched items
+  // then have complete accumulators and pairwise-independent picks, so the
+  // result is exactly the per-class schedule's — with one round barrier
+  // instead of one per tiny class.  The ledger still charges the synchronous
+  // schedule (one slot per palette class); batching is simulation speed, not
+  // a round-complexity claim.
+  std::vector<std::size_t> batch;  // by_class slots of the current region
+  std::size_t pos = 0;
+  while (pos < by_class.size()) {
+    batch.clear();
+    auto class_end = [&](std::size_t from) {
+      std::size_t end = from;
+      const std::uint64_t cls = by_class[from].first;
+      while (end < by_class.size() && by_class[end].first == cls) ++end;
+      return end;
+    };
+    auto take = [&](std::size_t from, std::size_t to) {
+      for (std::size_t t = from; t < to; ++t) {
+        batch.push_back(t);
+        in_batch[t] = 1;
+      }
+    };
+    // The first class joins unconditionally (it must run either way, even if
+    // it alone exceeds the quantum).
+    std::size_t end = class_end(pos);
+    take(pos, end);
+    pos = end;
+    // Greedily append whole classes while the quantum holds and the joining
+    // class is independent of everything already batched (a conflicting pair
+    // inside one region would miss the earlier item's color).
+    while (pos < by_class.size() &&
+           static_cast<int>(batch.size()) < kGreedyBatchQuantum) {
+      end = class_end(pos);
+      if (batch.size() + (end - pos) > static_cast<std::size_t>(kGreedyBatchQuantum)) {
+        break;
+      }
+      bool independent = true;
+      for (std::size_t t = pos; t < end && independent; ++t) {
+        view.for_each_neighbor(by_class[t].second, [&](int f) {
+          if (in_batch[static_cast<std::size_t>(slot_of[static_cast<std::size_t>(f)])]) {
+            independent = false;
+          }
+        });
+      }
+      if (!independent) break;
+      take(pos, end);
+      pos = end;
+    }
+    // One region colors the whole batch: each item sorts its own accumulator
+    // and picks — item-owned state only, no reads of `out` at all.
+    ex.for_indices(static_cast<int>(batch.size()), [&](int, int t) {
+      const std::size_t slot = batch[static_cast<std::size_t>(t)];
+      const int i = by_class[slot].second;
+      std::vector<Color>& forbidden = acc[slot];
       std::sort(forbidden.begin(), forbidden.end());
       const Color c = lists[static_cast<std::size_t>(i)].min_excluding(forbidden);
       QPLEC_ASSERT_MSG(c != kUncolored, "greedy sweep ran out of colors at item " << i);
       out[static_cast<std::size_t>(i)] = c;
     });
-    pos = end;
+    // Delta scatter, ascending (class, id) order — deterministic for any
+    // lane layout; colored neighbors no longer need their accumulators.
+    for (const std::size_t slot : batch) {
+      in_batch[slot] = 0;
+      const int i = by_class[slot].second;
+      view.for_each_neighbor(i, [&](int f) {
+        if (out[static_cast<std::size_t>(f)] == kUncolored) {
+          acc[static_cast<std::size_t>(slot_of[static_cast<std::size_t>(f)])].push_back(
+              out[static_cast<std::size_t>(i)]);
+        }
+      });
+    }
   }
 }
 

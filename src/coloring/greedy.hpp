@@ -21,19 +21,33 @@
 
 namespace qplec {
 
+/// Fan-out quantum of the class sweep: consecutive classes whose combined
+/// item count stays below this run as one parallel region (after an
+/// intra-batch independence check), so a base case with a big palette of
+/// tiny classes does not pay one round barrier per class.  Output is
+/// identical to the per-class schedule for any value; this is a simulation
+/// throughput knob, sized so a region below it is dominated by fan-out
+/// latency rather than step work.
+inline constexpr int kGreedyBatchQuantum = 128;
+
 /// Sweeps the classes of `phi` (a proper coloring of the view's active items
 /// with values in [0, palette)) in increasing order; in class t's round, each
 /// item of class t takes the smallest color of its list not used by an
 /// already-colored conflict neighbor.  Writes into out[item] (out must be
-/// sized num_items; inactive items are untouched).  Charges `palette` rounds.
+/// sized num_items; active items must be kUncolored at entry — every
+/// caller's out starts fresh; inactive items are untouched).  Charges
+/// `palette` rounds.
 ///
 /// Requires |lists[i]| >= degree(i) + 1 for every active item (the greedy
 /// feasibility condition); violations throw.
 ///
 /// The items of one class are pairwise non-conflicting (phi is proper), so
 /// each class round is an item-owned parallel step: with a non-null `exec`
-/// the round fans out over the backend's lanes (neighbor-color scratch held
-/// per lane), and the result is bit-identical to the serial sweep.
+/// the round fans out over the backend's lanes, and the result is
+/// bit-identical to the serial sweep.  Forbidden-color sets are built
+/// incrementally — a newly colored item's color is scattered once to each
+/// uncolored neighbor's accumulator between rounds — and consecutive small
+/// classes batch into one region (kGreedyBatchQuantum) when independent.
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
                        std::vector<Color>& out, RoundLedger& ledger,

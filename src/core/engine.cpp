@@ -8,6 +8,7 @@
 #include "src/coloring/validate.hpp"
 #include "src/common/log.hpp"
 #include "src/common/math.hpp"
+#include "src/core/pass_timer.hpp"
 #include "src/dist/reducer.hpp"
 
 namespace qplec {
@@ -15,7 +16,7 @@ namespace qplec {
 SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                            std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                            const Policy& policy, RoundLedger& ledger, SolverStats& stats,
-                           int depth, const ExecBackend* exec)
+                           int depth, const ExecBackend* exec, bool use_neighbor_cache)
     : g_(g),
       work_(std::move(lists)),
       palette_(palette),
@@ -26,9 +27,15 @@ SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color p
       stats_(stats),
       base_depth_(depth),
       exec_(exec != nullptr ? exec : &serial_backend()),
+      use_neighbor_cache_(use_neighbor_cache),
       final_(static_cast<std::size_t>(g.num_edges()), kUncolored) {
   QPLEC_REQUIRE(work_.size() == static_cast<std::size_t>(g.num_edges()));
   QPLEC_REQUIRE(phi_.size() == static_cast<std::size_t>(g.num_edges()));
+  // Hub-heavy graphs fail NeighborColorCache::fits (the rows would dwarf
+  // the graph); they silently run the bit-identical full-rescan path.
+  if (use_neighbor_cache_ && g_.num_edges() > 0 && NeighborColorCache::fits(g_)) {
+    cache_ = std::make_unique<NeighborColorCache>(g_, final_, *exec_);
+  }
   note_depth(depth);
 }
 
@@ -43,9 +50,7 @@ EdgeColoring SolverEngine::solve() {
         is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
     solve_no_slack(EdgeSubset::all(g_), base_depth_);
   }
-  std::string why;
-  QPLEC_ASSERT_MSG(is_proper_edge_coloring(g_, final_, &why), "engine output invalid: " << why);
-  return final_;
+  return finish_solve();
 }
 
 EdgeColoring SolverEngine::solve_relaxed_instance(double slack) {
@@ -54,13 +59,35 @@ EdgeColoring SolverEngine::solve_relaxed_instance(double slack) {
         is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
     solve_relaxed(EdgeSubset::all(g_), slack, 0, palette_, base_depth_);
   }
+  return finish_solve();
+}
+
+EdgeColoring SolverEngine::finish_solve() {
   std::string why;
   QPLEC_ASSERT_MSG(is_proper_edge_coloring(g_, final_, &why), "engine output invalid: " << why);
+  if (cache_) {
+    stats_.cache_flushes += cache_->flushes();
+    stats_.cache_deltas += cache_->deltas_noted();
+    stats_.cache_colors_removed += cache_->colors_removed();
+  }
   return final_;
 }
 
 void SolverEngine::refresh_lists(const EdgeSubset& H) {
   ledger_.charge(1, "refresh-lists");
+  const PassTimer timer(stats_.refresh_ms);
+  if (cache_) {
+    // Incremental path: drain the round's finalize log, then each member
+    // sweeps only its live row (plus its deferred pending colors) — exactly
+    // the colors of neighbors finalized since ITS previous sweep, which
+    // (removal being idempotent) leaves exactly the list the full rescan
+    // below would.
+    cache_->flush();
+    exec_->for_members(H, [&](int lane, EdgeId e) {
+      cache_->consume(lane, e, work_[static_cast<std::size_t>(e)]);
+    });
+    return;
+  }
   // Edge-local step: e reads committed neighbor colors, mutates only its own
   // list — safe for any backend.
   exec_->for_members(H, [&](int, EdgeId e) {
@@ -71,10 +98,17 @@ void SolverEngine::refresh_lists(const EdgeSubset& H) {
   });
 }
 
+int SolverEngine::induced_degree(int lane, EdgeId e, const EdgeSubset& s) const {
+  // The cached count walks the live row (subsets of the round loop hold
+  // only unfinalized edges, so dropping finalized neighbors loses nothing).
+  if (cache_) return cache_->induced_degree(lane, e, s);
+  return s.induced_edge_degree(g_, e);
+}
+
 int SolverEngine::max_induced_degree(const EdgeSubset& s) const {
   DeterministicReducer<int> deg(exec_->lanes(), 0);
   exec_->for_members(s, [&](int lane, EdgeId e) {
-    deg.lane(lane) = std::max(deg.lane(lane), s.induced_edge_degree(g_, e));
+    deg.lane(lane) = std::max(deg.lane(lane), induced_degree(lane, e, s));
   });
   return deg.max();
 }
@@ -84,14 +118,17 @@ void SolverEngine::solve_basecase(const EdgeSubset& H) {
   refresh_lists(H);
   const LineGraphConflict view(g_, H);
   const int d = max_induced_degree(H);
-  exec_->for_members(H, [&](int, EdgeId e) {
+  exec_->for_members(H, [&](int lane, EdgeId e) {
     QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
-                         H.induced_edge_degree(g_, e) + 1,
+                         induced_degree(lane, e, H) + 1,
                      "base case feasibility violated at edge " << e);
   });
   solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_, exec_);
-  H.for_each([&](EdgeId e) {
+  // The whole subset finalized at once: record the deltas for the next
+  // flush (lane queues concatenate to ascending id order either way).
+  exec_->for_members(H, [&](int lane, EdgeId e) {
     QPLEC_ASSERT(final_[static_cast<std::size_t>(e)] != kUncolored);
+    if (cache_) cache_->note_finalized(lane, e);
   });
 }
 
@@ -104,9 +141,9 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
     const int d = max_induced_degree(H);
 
     // Paper invariant: the current subgraph is a (deg+1)-list instance.
-    exec_->for_members(H, [&](int, EdgeId e) {
+    exec_->for_members(H, [&](int lane, EdgeId e) {
       QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
-                           H.induced_edge_degree(g_, e) + 1,
+                           induced_degree(lane, e, H) + 1,
                        "(deg+1)-list invariant violated at edge " << e);
     });
 
@@ -126,7 +163,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
     std::vector<int> deg0(static_cast<std::size_t>(g_.num_edges()), 0);
     DeterministicReducer<double> defect_ratio(exec_->lanes(), stats_.max_defect_ratio);
     exec_->for_members(H, [&](int lane, EdgeId e) {
-      deg0[static_cast<std::size_t>(e)] = H.induced_edge_degree(g_, e);
+      deg0[static_cast<std::size_t>(e)] = induced_degree(lane, e, H);
       const int defect = edge_defect(g_, H, dc.cls, e);
       if (defect > 0) {
         const double bound = static_cast<double>(deg0[static_cast<std::size_t>(e)]) /
@@ -157,20 +194,29 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
       // Marking round: remove used neighbor colors, test |L_e| > deg(e)/2.
       // The pruning is e-local; the activity verdicts land in per-edge flags
       // and the subset is built serially from them (identical membership for
-      // any lane layout).
+      // any lane layout).  The cached path consumes only the deltas the
+      // previous classes of this loop finalized.
       ledger_.charge(1, "mark-active");
       std::vector<std::uint8_t> is_active(bucket.size(), 0);
-      exec_->for_indices(static_cast<int>(bucket.size()), [&](int, int t) {
-        const EdgeId e = bucket[static_cast<std::size_t>(t)];
-        auto& list = work_[static_cast<std::size_t>(e)];
-        g_.for_each_edge_neighbor(e, [&](EdgeId f) {
-          const Color cf = final_[static_cast<std::size_t>(f)];
-          if (cf != kUncolored) list.remove(cf);
+      {
+        const PassTimer timer(stats_.refresh_ms);
+        if (cache_) cache_->flush();
+        exec_->for_indices(static_cast<int>(bucket.size()), [&](int lane, int t) {
+          const EdgeId e = bucket[static_cast<std::size_t>(t)];
+          auto& list = work_[static_cast<std::size_t>(e)];
+          if (cache_) {
+            cache_->consume(lane, e, list);
+          } else {
+            g_.for_each_edge_neighbor(e, [&](EdgeId f) {
+              const Color cf = final_[static_cast<std::size_t>(f)];
+              if (cf != kUncolored) list.remove(cf);
+            });
+          }
+          if (2 * list.size() > deg0[static_cast<std::size_t>(e)]) {
+            is_active[static_cast<std::size_t>(t)] = 1;
+          }
         });
-        if (2 * list.size() > deg0[static_cast<std::size_t>(e)]) {
-          is_active[static_cast<std::size_t>(t)] = 1;
-        }
-      });
+      }
       EdgeSubset active(g_.num_edges());
       for (std::size_t t = 0; t < bucket.size(); ++t) {
         if (is_active[t]) active.insert(bucket[t]);
@@ -178,8 +224,8 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
       if (!active.empty()) {
         // Slack guarantee of Lemma 4.2 (asserted): within the active class
         // subgraph, |L_e| > beta * deg'(e).
-        exec_->for_members(active, [&](int, EdgeId e) {
-          const int dprime = active.induced_edge_degree(g_, e);
+        exec_->for_members(active, [&](int lane, EdgeId e) {
+          const int dprime = induced_degree(lane, e, active);
           QPLEC_ASSERT_MSG(
               work_[static_cast<std::size_t>(e)].size() >
                   static_cast<std::int64_t>(beta) * dprime,
@@ -213,12 +259,12 @@ void SolverEngine::solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi,
 
   // Entry invariant of P(dbar, S, C): |L_e| > slack * deg_A(e), lists within
   // [lo, hi).
-  exec_->for_members(A, [&](int, EdgeId e) {
+  exec_->for_members(A, [&](int lane, EdgeId e) {
     const auto& list = work_[static_cast<std::size_t>(e)];
     QPLEC_ASSERT(!list.empty());
     QPLEC_ASSERT(list.colors().front() >= lo && list.colors().back() < hi);
     QPLEC_ASSERT_MSG(static_cast<double>(list.size()) >
-                         slack * A.induced_edge_degree(g_, e) - 1e-9,
+                         slack * induced_degree(lane, e, A) - 1e-9,
                      "relaxed entry slack violated at edge " << e);
   });
 
@@ -226,8 +272,9 @@ void SolverEngine::solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi,
     // Independent edges: everyone picks its smallest remaining color.
     ++stats_.trivial_picks;
     ledger_.charge(1, "trivial-pick");
-    exec_->for_members(A, [&](int, EdgeId e) {
+    exec_->for_members(A, [&](int lane, EdgeId e) {
       final_[static_cast<std::size_t>(e)] = work_[static_cast<std::size_t>(e)].min();
+      if (cache_) cache_->note_finalized(lane, e);
     });
     return;
   }

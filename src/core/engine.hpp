@@ -24,12 +24,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/coloring/palette.hpp"
 #include "src/coloring/problem.hpp"
 #include "src/core/policy.hpp"
 #include "src/dist/backend.hpp"
+#include "src/dist/neighbor_cache.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/subset.hpp"
 #include "src/local/ledger.hpp"
@@ -54,6 +56,21 @@ struct SolverStats {
   /// Measured defect tightness: max of defect(e) / (deg(e)/(2*beta)).
   double max_defect_ratio = 0.0;
 
+  // NeighborColorCache telemetry (0 on the uncached path).  Deterministic
+  // for a given instance and shard count-invariant: one delta per finalized
+  // edge, one removed pair per (edge, finalized neighbor), summed over the
+  // engine and its children.
+  std::int64_t cache_flushes = 0;
+  std::int64_t cache_deltas = 0;
+  std::int64_t cache_colors_removed = 0;
+
+  // Wall time accumulated in the refresh/mark-active passes and in the
+  // Lemma 4.3 restriction passes (engine + children).  NOT deterministic —
+  // never compare across runs; BENCH_cache.json reports the cached vs
+  // uncached ratio of exactly these.
+  double refresh_ms = 0.0;
+  double restrict_ms = 0.0;
+
   void merge_max(const SolverStats&) = delete;  // single object shared by reference
 };
 
@@ -66,10 +83,15 @@ class SolverEngine {
   /// src/coloring routes through it); null = serial; the backend must shard
   /// this g.  Children created by the recursion run serial: their virtual
   /// graphs are orders of magnitude smaller.
+  /// use_neighbor_cache: maintain a NeighborColorCache so the refresh /
+  /// mark-active / Lemma 4.3 restriction passes consume per-round deltas of
+  /// newly finalized neighbor colors instead of rescanning the global final
+  /// array and full neighborhoods (ExecOptions::use_neighbor_cache routes
+  /// here; children inherit the setting).  Bit-identical either way.
   SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                const Policy& policy, RoundLedger& ledger, SolverStats& stats, int depth,
-               const ExecBackend* exec = nullptr);
+               const ExecBackend* exec = nullptr, bool use_neighbor_cache = true);
 
   /// Colors every edge; the result is proper (asserted) and each edge's
   /// color comes from the list the engine was given.
@@ -93,6 +115,10 @@ class SolverEngine {
   }
 
  private:
+  // Shared epilogue of the public solve entry points: validates the output
+  // and folds the cache telemetry into the stats.
+  EdgeColoring finish_solve();
+
   // Lemma 4.2: colors all edges of H (lists currently satisfy
   // |L_e| >= deg_H(e)+1 after refresh).
   void solve_no_slack(EdgeSubset H, int depth);
@@ -105,12 +131,21 @@ class SolverEngine {
   void solve_basecase(const EdgeSubset& H);
 
   // One synchronous round in which every edge of H deletes the final colors
-  // of its (whole-graph) neighbors from its working list.
+  // of its (whole-graph) neighbors from its working list.  On the cached
+  // path this consumes only the deltas finalized since each edge's previous
+  // refresh (same resulting lists).
   void refresh_lists(const EdgeSubset& H);
 
   // max_induced_edge_degree(s) computed through the execution backend (a
-  // shard-parallel max reduction on the sharded path).
+  // shard-parallel max reduction on the sharded path).  Valid only for
+  // subsets of unfinalized edges — every subset the round loop builds — so
+  // the cached path may count over live neighbors.
   int max_induced_degree(const EdgeSubset& s) const;
+
+  // Induced degree of one edge within such a subset (cache-aware; `lane` is
+  // the backend lane of the calling pass — the cache's counters and row
+  // sweeps are lane-indexed).
+  int induced_degree(int lane, EdgeId e, const EdgeSubset& s) const;
 
   void note_depth(int depth);
 
@@ -124,7 +159,9 @@ class SolverEngine {
   SolverStats& stats_;
   int base_depth_;
   const ExecBackend* exec_;  ///< never null; serial_backend() by default
+  bool use_neighbor_cache_;  ///< inherited by the children the recursion spawns
   EdgeColoring final_;
+  std::unique_ptr<NeighborColorCache> cache_;  ///< null on the uncached path
 };
 
 }  // namespace qplec

@@ -1,0 +1,31 @@
+// PassTimer — RAII wall-clock accumulation for one engine pass.
+//
+// The refresh/restrict timer slots of SolverStats are fed by the two
+// translation units of the engine (engine.cpp, space_reduce.cpp); the helper
+// lives here so both scope their passes the same way.  The measured values
+// are wall time: real but non-deterministic, reported by BENCH_cache.json
+// and never part of a determinism fingerprint.
+#pragma once
+
+#include <chrono>
+
+namespace qplec {
+
+class PassTimer {
+ public:
+  explicit PassTimer(double& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PassTimer() {
+    sink_ += std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                       start_)
+                 .count();
+  }
+  PassTimer(const PassTimer&) = delete;
+  PassTimer& operator=(const PassTimer&) = delete;
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace qplec

@@ -61,7 +61,8 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) 
 
   // Phases 1+: the Section 4 recursion.
   SolverEngine engine(g, instance.lists, instance.palette_size, std::move(lin.colors),
-                      lin.palette, policy_, ledger, res.stats, 0, exec);
+                      lin.palette, policy_, ledger, res.stats, 0, exec,
+                      exec_.use_neighbor_cache);
   {
     auto scope = ledger.sequential("list-edge-coloring");
     res.colors = slack > 1.0 ? engine.solve_relaxed_instance(slack) : engine.solve();

@@ -22,6 +22,7 @@
 #include "src/coloring/validate.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/lemma44.hpp"
+#include "src/core/pass_timer.hpp"
 #include "src/common/math.hpp"
 #include "src/dist/reducer.hpp"
 #include "src/graph/builder.hpp"
@@ -44,15 +45,30 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
   std::vector<int> level(m, -1);
   std::vector<int> deg_A(m, 0);
   std::vector<int> list_size(m, 0);
-  exec_->for_members(A, [&](int, EdgeId e) {
+  exec_->for_members(A, [&](int lane, EdgeId e) {
     const std::size_t i = static_cast<std::size_t>(e);
     sizes[i] = intersection_sizes(work_[i], lo, partition);
     list_size[i] = work_[i].size();
     level[i] = compute_level(sizes[i], list_size[i]).level;
-    deg_A[i] = A.induced_edge_degree(g_, e);
+    deg_A[i] = induced_degree(lane, e, A);
   });
 
   std::vector<int> part_of(m, -1);
+
+  // Enumerates the A-neighbors of e.  A holds only unfinalized edges, so the
+  // cached path walks the (shrinking) live list instead of the full
+  // neighborhood; e-owned compaction keeps it legal inside any pass over e.
+  auto for_each_A_neighbor = [&](int lane, EdgeId e, auto&& fn) {
+    if (cache_ != nullptr) {
+      cache_->for_each_live_neighbor(lane, e, [&](EdgeId f) {
+        if (A.contains(f)) fn(f);
+      });
+    } else {
+      g_.for_each_edge_neighbor(e, [&](EdgeId f) {
+        if (A.contains(f)) fn(f);
+      });
+    }
+  };
 
   // --- Levels <= 3: argmax intersection, one announcement round. ---
   ledger_.charge(1, "space-low-assign");
@@ -64,10 +80,10 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
   });
 
   // Counts how many already-assigned A-neighbors of e chose each part.
-  auto assigned_counts = [&](EdgeId e) {
+  auto assigned_counts = [&](int lane, EdgeId e) {
     std::vector<int> cnt(static_cast<std::size_t>(q), 0);
-    g_.for_each_edge_neighbor(e, [&](EdgeId f) {
-      if (A.contains(f) && part_of[static_cast<std::size_t>(f)] >= 0) {
+    for_each_A_neighbor(lane, e, [&](EdgeId f) {
+      if (part_of[static_cast<std::size_t>(f)] >= 0) {
         ++cnt[static_cast<std::size_t>(part_of[static_cast<std::size_t>(f)])];
       }
     });
@@ -96,7 +112,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     }
     SolverEngine child(vg, std::move(child_lists), static_cast<Color>(q),
                        std::move(child_phi), phi_palette_, policy_, ledger_, stats_,
-                       depth + 1);
+                       depth + 1, /*exec=*/nullptr, use_neighbor_cache_);
     const EdgeColoring chosen = child.solve();
     for (EdgeId ve = 0; ve < vg.num_edges(); ++ve) {
       const EdgeId e = parent_of[static_cast<std::size_t>(ve)];
@@ -118,30 +134,38 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
 
     // Candidate sets J_e.  part_of is frozen during this step (phase
     // assignments land only after the child solve), so the reads are safe.
+    // The neighborhood scans ride the cache's live rows, so the pass counts
+    // toward the restrict timer the cache gate measures (scoped to exclude
+    // the child solve below).
     std::vector<ColorList> cand(e1.size());
-    exec_->for_indices(static_cast<int>(e1.size()), [&](int, int ti) {
-      const std::size_t t = static_cast<std::size_t>(ti);
-      const EdgeId e = e1[t];
-      const std::size_t i = static_cast<std::size_t>(e);
-      const std::vector<int> cnt = assigned_counts(e);
-      const double threshold =
-          static_cast<double>(list_size[i]) / (std::pow(2.0, l + 1) * hq);
-      std::vector<Color> je;
-      for (int j = 0; j < q; ++j) {
-        const bool big_intersection =
-            static_cast<double>(sizes[i][static_cast<std::size_t>(j)]) >= threshold - 1e-9;
-        // (II): at most deg(e)/2^(l-1) neighbors already chose part j.
-        const bool few_taken = static_cast<std::int64_t>(cnt[static_cast<std::size_t>(j)]) *
-                                   (std::int64_t{1} << (l - 1)) <=
-                               deg_A[i];
-        if (big_intersection && few_taken) je.push_back(j);
-      }
-      QPLEC_ASSERT_MSG(static_cast<int>(je.size()) >= (1 << (l - 1)),
-                       "Lemma 4.3: |J_e| >= 2^(l-1) violated at edge "
-                           << e << " (got " << je.size() << ", need " << (1 << (l - 1))
-                           << ")");
-      cand[t] = ColorList(std::move(je));
-    });
+    {
+      const PassTimer cand_timer(stats_.restrict_ms);
+      exec_->for_indices(static_cast<int>(e1.size()), [&](int lane, int ti) {
+        const std::size_t t = static_cast<std::size_t>(ti);
+        const EdgeId e = e1[t];
+        const std::size_t i = static_cast<std::size_t>(e);
+        const std::vector<int> cnt = assigned_counts(lane, e);
+        const double threshold =
+            static_cast<double>(list_size[i]) / (std::pow(2.0, l + 1) * hq);
+        std::vector<Color> je;
+        for (int j = 0; j < q; ++j) {
+          const bool big_intersection =
+              static_cast<double>(sizes[i][static_cast<std::size_t>(j)]) >=
+              threshold - 1e-9;
+          // (II): at most deg(e)/2^(l-1) neighbors already chose part j.
+          const bool few_taken =
+              static_cast<std::int64_t>(cnt[static_cast<std::size_t>(j)]) *
+                  (std::int64_t{1} << (l - 1)) <=
+              deg_A[i];
+          if (big_intersection && few_taken) je.push_back(j);
+        }
+        QPLEC_ASSERT_MSG(static_cast<int>(je.size()) >= (1 << (l - 1)),
+                         "Lemma 4.3: |J_e| >= 2^(l-1) violated at edge "
+                             << e << " (got " << je.size() << ", need " << (1 << (l - 1))
+                             << ")");
+        cand[t] = ColorList(std::move(je));
+      });
+    }
 
     // Virtual graph: every node splits its phase edges into groups of size
     // at most 2^(l-2); each group becomes one virtual node.
@@ -185,24 +209,30 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     ++stats_.e2_instances;
     ledger_.charge(1, "space-e2-free");
     // Candidates: parts with a big intersection, minus parts taken by any
-    // already-assigned neighbor (so E(2) edges end conflict-free).
+    // already-assigned neighbor (so E(2) edges end conflict-free).  Timed
+    // with the restriction passes: the neighborhood scans ride the cache's
+    // live rows (the child solve below stays untimed).
     std::vector<ColorList> cand(e2.size());
-    exec_->for_indices(static_cast<int>(e2.size()), [&](int, int ti) {
-      const std::size_t t = static_cast<std::size_t>(ti);
-      const EdgeId e = e2[t];
-      const std::size_t i = static_cast<std::size_t>(e);
-      const std::vector<int> cnt = assigned_counts(e);
-      const double threshold =
-          static_cast<double>(list_size[i]) / (std::pow(2.0, level[i] + 1) * hq);
-      std::vector<Color> free;
-      for (int j = 0; j < q; ++j) {
-        if (static_cast<double>(sizes[i][static_cast<std::size_t>(j)]) >= threshold - 1e-9 &&
-            cnt[static_cast<std::size_t>(j)] == 0) {
-          free.push_back(j);
+    {
+      const PassTimer cand_timer(stats_.restrict_ms);
+      exec_->for_indices(static_cast<int>(e2.size()), [&](int lane, int ti) {
+        const std::size_t t = static_cast<std::size_t>(ti);
+        const EdgeId e = e2[t];
+        const std::size_t i = static_cast<std::size_t>(e);
+        const std::vector<int> cnt = assigned_counts(lane, e);
+        const double threshold =
+            static_cast<double>(list_size[i]) / (std::pow(2.0, level[i] + 1) * hq);
+        std::vector<Color> free;
+        for (int j = 0; j < q; ++j) {
+          if (static_cast<double>(sizes[i][static_cast<std::size_t>(j)]) >=
+                  threshold - 1e-9 &&
+              cnt[static_cast<std::size_t>(j)] == 0) {
+            free.push_back(j);
+          }
         }
-      }
-      cand[t] = ColorList(std::move(free));
-    });
+        cand[t] = ColorList(std::move(free));
+      });
+    }
     // Materialize the induced subgraph on E(2)'s endpoints.
     std::vector<NodeId> remap(static_cast<std::size_t>(g_.num_nodes()), -1);
     int nodes = 0;
@@ -226,6 +256,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
   // --- Restrict lists; machine-check Equation (2). ---
   // part_of is fully assigned and read-only here; each edge replaces only
   // its own working list.  The tightness statistic folds per lane.
+  const PassTimer restrict_timer(stats_.restrict_ms);
   DeterministicReducer<double> eq2_ratio(exec_->lanes(), stats_.max_eq2_ratio);
   exec_->for_members(A, [&](int lane, EdgeId e) {
     const std::size_t i = static_cast<std::size_t>(e);
@@ -236,8 +267,8 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     QPLEC_ASSERT_MSG(!restricted.empty(), "empty restricted list at edge " << e);
 
     int dprime = 0;
-    g_.for_each_edge_neighbor(e, [&](EdgeId f) {
-      if (A.contains(f) && part_of[static_cast<std::size_t>(f)] == part_of[i]) ++dprime;
+    for_each_A_neighbor(lane, e, [&](EdgeId f) {
+      if (part_of[static_cast<std::size_t>(f)] == part_of[i]) ++dprime;
     });
     if (dprime > 0) {
       const double bound = 24.0 * hq * std::max(1.0, logp) *

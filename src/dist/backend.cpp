@@ -21,6 +21,13 @@ void SerialBackend::for_nodes(const Graph& g,
   for (NodeId v = 0; v < g.num_nodes(); ++v) fn(0, v);
 }
 
+void SerialBackend::for_edge_ranges(
+    int universe, const std::function<void(int, EdgeId, EdgeId)>& fn) const {
+  QPLEC_REQUIRE(universe >= 0);
+  if (universe == 0) return;
+  fn(0, 0, static_cast<EdgeId>(universe));
+}
+
 int ExecOptions::pool_threads() const {
   if (num_threads > 0) return num_threads;
   const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
@@ -73,6 +80,17 @@ void ShardedBackend::for_indices(int count, const std::function<void(int, int)>&
     const int begin = static_cast<int>(static_cast<std::int64_t>(count) * lane / lanes);
     const int end = static_cast<int>(static_cast<std::int64_t>(count) * (lane + 1) / lanes);
     for (int i = begin; i < end; ++i) fn(lane, i);
+  });
+}
+
+void ShardedBackend::for_edge_ranges(
+    int universe, const std::function<void(int, EdgeId, EdgeId)>& fn) const {
+  QPLEC_REQUIRE_MSG(universe == g_->num_edges(),
+                    "for_edge_ranges universe does not match the sharded graph");
+  if (universe == 0) return;
+  pool_->run_indexed(partition_.num_shards(), [&](int, int shard) {
+    const EdgeShard& es = partition_.shard(shard);
+    fn(shard, es.edge_begin, es.edge_end);
   });
 }
 

@@ -53,6 +53,13 @@ struct ExecOptions {
   /// solver carrying these options; concurrent solves serialize their round
   /// fan-outs on it (ThreadPool::run_indexed is lease-safe).
   ThreadPool* shared_pool = nullptr;
+  /// Maintain a NeighborColorCache per engine (src/dist/neighbor_cache.hpp):
+  /// the refresh/restrict passes of the round loop consume per-round deltas
+  /// of newly finalized neighbor colors instead of rescanning the full
+  /// neighborhoods every round.  Output is bit-identical either way (the
+  /// differential suite in tests/test_neighbor_cache.cpp pins it); off is a
+  /// debugging/benchmark reference path.
+  bool use_neighbor_cache = true;
 
   /// True when this configuration shards a graph of `num_edges` edges.
   bool wants_sharding(int num_edges) const {
@@ -99,6 +106,18 @@ class ExecBackend {
   /// accumulators.  On a sharded backend g must be the sharded graph.
   virtual void for_nodes(const Graph& g,
                          const std::function<void(int, NodeId)>& fn) const = 0;
+
+  /// Runs fn(lane, begin, end) once per lane with that lane's owned
+  /// contiguous edge-id range; the ranges are disjoint, ascending in lane
+  /// order, and cover [0, universe) exactly.  The unique-writer partition
+  /// primitive: within its call, a lane may write per-edge state of ANY
+  /// edge id inside its own range (not just state of edges a step function
+  /// was handed) — the NeighborColorCache fills its per-edge live rows
+  /// through this, and any future owner-partitioned table exchange slots in
+  /// the same way.  On a sharded backend `universe` must equal the sharded
+  /// graph's edge count (the ranges are the degree-balanced edge shards).
+  virtual void for_edge_ranges(int universe,
+                               const std::function<void(int, EdgeId, EdgeId)>& fn) const = 0;
 };
 
 /// Per-lane scratch slots for the reusable working sets of a parallel pass
@@ -122,6 +141,11 @@ class LaneScratch {
     return slots_[static_cast<std::size_t>(l)].value;
   }
 
+  const T& lane(int l) const {
+    QPLEC_REQUIRE(l >= 0 && l < num_lanes());
+    return slots_[static_cast<std::size_t>(l)].value;
+  }
+
  private:
   struct alignas(64) Slot {
     T value{};
@@ -138,6 +162,8 @@ class SerialBackend final : public ExecBackend {
   void for_indices(int count, const std::function<void(int, int)>& fn) const override;
   void for_nodes(const Graph& g,
                  const std::function<void(int, NodeId)>& fn) const override;
+  void for_edge_ranges(int universe,
+                       const std::function<void(int, EdgeId, EdgeId)>& fn) const override;
 };
 
 /// The process-wide serial backend (stateless, shared by every engine that
@@ -160,6 +186,8 @@ class ShardedBackend final : public ExecBackend {
   void for_indices(int count, const std::function<void(int, int)>& fn) const override;
   void for_nodes(const Graph& g,
                  const std::function<void(int, NodeId)>& fn) const override;
+  void for_edge_ranges(int universe,
+                       const std::function<void(int, EdgeId, EdgeId)>& fn) const override;
 
  private:
   const Graph* g_;

@@ -357,7 +357,7 @@ Graph make_family_graph(GraphFamily family, int size, std::uint64_t seed, int au
     }
     case GraphFamily::kPowerLaw: {
       const double max_deg = aux > 0 ? static_cast<double>(aux) : 12.0;
-      return make_power_law(size, 2.5, max_deg, seed);
+      return make_power_law(size, kPowerLawDefaultGamma, max_deg, seed);
     }
   }
   return Graph();

@@ -51,6 +51,10 @@ Graph make_gnp(int n, double p, std::uint64_t seed);
 /// self-loops/multi-edges (retries internally; requires n*d even, d < n).
 Graph make_random_regular(int n, int d, std::uint64_t seed);
 
+/// The power-law exponent every standard sweep uses (make_family_graph's
+/// kPowerLaw branch and the bench stressors reference this single value).
+inline constexpr double kPowerLawDefaultGamma = 2.5;
+
 /// Chung–Lu graph with power-law expected degrees: weight of node i is
 /// proportional to (i+1)^(-1/(gamma-1)), scaled so the max expected degree is
 /// max_expected_degree.  gamma > 2.

@@ -76,10 +76,15 @@ std::string Scenario::name() const {
 
 ListEdgeColoringInstance build_instance(const Scenario& scenario) {
   const std::uint64_t seed = scenario.seed;
+  // Adversarial id scramble into a 4*n^2 space, clamped so the derived
+  // initial edge palette (id_space+1)^2 stays within 64 bits — stressor-
+  // scale scenarios (>~23k nodes) use a 2^31 space, still poly(n) and far
+  // above n, so the LOCAL-model id contract holds unchanged.  Every size
+  // below the clamp keeps its exact historical ids (golden-pinned).
+  const std::uint64_t n = static_cast<std::uint64_t>(std::max(1, scenario.size));
+  const std::uint64_t id_space = std::min<std::uint64_t>(n * n * 4, std::uint64_t{1} << 31);
   Graph g = make_family_graph(scenario.family, scenario.size, seed, scenario.aux)
-                .with_scrambled_ids(static_cast<std::uint64_t>(std::max(1, scenario.size)) *
-                                        std::max(1, scenario.size) * 4,
-                                    seed + 1);
+                .with_scrambled_ids(id_space, seed + 1);
   switch (scenario.lists) {
     case ListFlavor::kTwoDelta:
       return make_two_delta_instance(std::move(g));

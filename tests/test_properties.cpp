@@ -1,10 +1,21 @@
 // Property-based tests: randomized operation sequences checked against
 // straightforward reference models (std::set and brute force), plus
 // whole-pipeline invariants swept across many seeds.
+//
+// The PropertyFuzz suite is the property/fuzz tier (ctest label `property`):
+// seeded random-graph sweeps asserting that the NeighborColorCache path and
+// the full-rescan path solve bit-identically and properly on every instance,
+// and that the batched incremental greedy sweep matches a straightforward
+// per-class reference.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
+#include "src/coloring/conflict.hpp"
+#include "src/coloring/greedy.hpp"
+#include "src/coloring/initial.hpp"
 #include "src/coloring/palette.hpp"
 #include "src/coloring/validate.hpp"
 #include "src/common/rng.hpp"
@@ -12,6 +23,8 @@
 #include "src/graph/builder.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/subset.hpp"
+#include "src/runtime/batch_solver.hpp"
+#include "src/runtime/scenarios.hpp"
 
 namespace qplec {
 namespace {
@@ -168,6 +181,100 @@ TEST(Properties, ScrambledIdsPreserveStructureOnlyRelabelled) {
   ASSERT_EQ(a.num_edges(), b.num_edges());
   for (EdgeId e = 0; e < a.num_edges(); ++e) {
     EXPECT_EQ(a.endpoints(e), b.endpoints(e));  // topology identical
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PropertyFuzz: the seeded random-graph sweep of the cache differential.
+// ---------------------------------------------------------------------------
+
+// family x size x seed sweep: every instance solves bit-identically with the
+// neighbor cache on and off, and both outputs are proper list colorings.
+TEST(PropertyFuzz, CacheOnOffBitIdenticalAcrossRandomGraphSweep) {
+  struct Case {
+    GraphFamily family;
+    int size;
+    int aux;
+  };
+  const Case cases[] = {
+      {GraphFamily::kGnp, 30, 0},       {GraphFamily::kGnp, 44, 0},
+      {GraphFamily::kRegular, 32, 6},   {GraphFamily::kRegular, 48, 4},
+      {GraphFamily::kPowerLaw, 60, 10}, {GraphFamily::kTree, 50, 0},
+      {GraphFamily::kTorus, 5, 0},
+  };
+  const ListFlavor flavors[] = {ListFlavor::kTwoDelta, ListFlavor::kRandomDegPlusOne};
+  int swept = 0;
+  for (const Case& c : cases) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const Scenario scenario{c.family, c.size, flavors[seed % 2],
+                              PolicyKind::kPractical, seed, c.aux};
+      const ListEdgeColoringInstance instance = build_instance(scenario);
+      if (instance.graph.num_edges() == 0) continue;
+      ++swept;
+
+      ExecOptions cached;  // default: cache on
+      ExecOptions uncached;
+      uncached.use_neighbor_cache = false;
+      const SolveResult with_cache =
+          Solver(Policy::practical(), cached).solve(instance);
+      const SolveResult without_cache =
+          Solver(Policy::practical(), uncached).solve(instance);
+
+      EXPECT_EQ(hash_coloring(with_cache.colors), hash_coloring(without_cache.colors))
+          << scenario.name();
+      EXPECT_EQ(with_cache.colors, without_cache.colors) << scenario.name();
+      EXPECT_EQ(with_cache.rounds, without_cache.rounds) << scenario.name();
+      EXPECT_EQ(with_cache.raw_rounds, without_cache.raw_rounds) << scenario.name();
+      EXPECT_TRUE(is_proper_edge_coloring(instance.graph, with_cache.colors))
+          << scenario.name();
+      EXPECT_TRUE(is_valid_list_coloring(instance, with_cache.colors)) << scenario.name();
+      EXPECT_TRUE(is_valid_list_coloring(instance, without_cache.colors))
+          << scenario.name();
+    }
+  }
+  EXPECT_GE(swept, 25);  // the sweep must not silently degenerate
+}
+
+// The batched incremental class sweep (delta-fed forbidden sets, small
+// classes fused into one region) against a straightforward reference: one
+// class at a time, forbidden rebuilt by a full neighborhood rescan.  The
+// scrambled-id initial coloring gives a huge palette of tiny classes, so the
+// quantum and the intra-batch independence check both exercise.
+TEST(PropertyFuzz, BatchedGreedySweepMatchesPerClassReference) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g =
+        make_gnp(26, 0.25, seed).with_scrambled_ids(26 * 26, seed + 10);
+    if (g.num_edges() == 0) continue;
+    const auto instance = make_random_list_instance(g, 2 * (g.max_edge_degree() + 1), seed);
+    const LineGraphConflict view(g, EdgeSubset::all(g));
+    const InitialColoring init = initial_edge_coloring_from_ids(g);
+
+    std::vector<Color> batched(static_cast<std::size_t>(g.num_edges()), kUncolored);
+    RoundLedger ledger;
+    greedy_by_classes(view, instance.lists, init.colors, init.palette, batched, ledger);
+
+    // Reference: classes in increasing order, forbidden from a full rescan.
+    std::vector<Color> reference(static_cast<std::size_t>(g.num_edges()), kUncolored);
+    std::map<std::uint64_t, std::vector<int>> classes;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      classes[init.colors[static_cast<std::size_t>(e)]].push_back(e);
+    }
+    for (const auto& [cls, items] : classes) {
+      (void)cls;
+      for (const int i : items) {
+        std::vector<Color> forbidden;
+        view.for_each_neighbor(i, [&](int f) {
+          if (reference[static_cast<std::size_t>(f)] != kUncolored) {
+            forbidden.push_back(reference[static_cast<std::size_t>(f)]);
+          }
+        });
+        std::sort(forbidden.begin(), forbidden.end());
+        reference[static_cast<std::size_t>(i)] =
+            instance.lists[static_cast<std::size_t>(i)].min_excluding(forbidden);
+      }
+    }
+    EXPECT_EQ(batched, reference) << "seed " << seed;
+    EXPECT_TRUE(is_proper_on_conflict(view, batched, serial_backend())) << "seed " << seed;
   }
 }
 

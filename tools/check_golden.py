@@ -12,9 +12,17 @@ is deliberately re-baselined.
 Usage:
     check_golden.py REPORT GOLDEN          # gate: compare REPORT to GOLDEN
     check_golden.py REPORT GOLDEN --write  # re-baseline: write GOLDEN from REPORT
+    check_golden.py REPORT GOLDEN --ratio-report UNCACHED_REPORT
+        # additionally gate UNCACHED_REPORT's fingerprint against the same
+        # golden (proving the cached and uncached neighbor-cache paths solve
+        # bit-identically) and report the cached-vs-uncached solve-time
+        # ratio; with --write the ratio is stored in the golden as the
+        # informational ``cache_speedup`` field (wall time — never compared
+        # by the gate, re-measured at every re-baseline).
 
-The golden file stores only the fingerprint fields, so re-baselining after
-an intentional algorithm change produces a minimal, reviewable diff.
+The golden file stores only the fingerprint fields (plus the informational
+cache ratio), so re-baselining after an intentional algorithm change
+produces a minimal, reviewable diff.
 """
 
 import argparse
@@ -44,6 +52,13 @@ def main():
         action="store_true",
         help="re-baseline: overwrite GOLDEN with REPORT's fingerprint",
     )
+    parser.add_argument(
+        "--ratio-report",
+        metavar="UNCACHED_REPORT",
+        help="uncached-path report: fingerprint-gated against the same golden, "
+        "and the cached-vs-uncached solve-time ratio is reported (stored as "
+        "the informational cache_speedup field with --write)",
+    )
     args = parser.parse_args()
 
     with open(args.report) as f:
@@ -56,12 +71,51 @@ def main():
 
     actual = fingerprint(report)
 
+    cache_speedup = None
+    uncached_actual = None
+    if args.ratio_report:
+        with open(args.ratio_report) as f:
+            uncached = json.load(f)
+        uncached_actual = fingerprint(uncached)
+        cached_ms = report.get("total_solve_ms", 0.0)
+        uncached_ms = uncached.get("total_solve_ms", 0.0)
+        if cached_ms <= 0 or uncached_ms <= 0:
+            # A missing/zero timing must not silently skip the ratio (and,
+            # under --write, the cached==uncached fingerprint guard with it).
+            print(
+                "FAIL: --ratio-report given but total_solve_ms is missing or "
+                f"non-positive (cached {cached_ms!r}, uncached {uncached_ms!r})"
+            )
+            return 1
+        cache_speedup = uncached_ms / cached_ms
+        print(
+            f"cache ratio: uncached {uncached_ms:.1f} ms / cached {cached_ms:.1f} ms "
+            f"= {cache_speedup:.2f}x (informational — never gated; the binding "
+            "pass-level gate is bench_neighbor_cache --min-ratio)"
+        )
+
     if args.write:
         golden = {
             "comment": "golden batch_solve fingerprint; re-baseline with "
             "tools/check_golden.py REPORT GOLDEN --write",
             "scenarios": actual,
         }
+        if cache_speedup is not None:
+            if uncached_actual != actual:
+                print("FAIL: cached and uncached fingerprints differ; not writing")
+                return 1
+            golden["cache_speedup"] = round(cache_speedup, 3)
+        else:
+            # A plain --write must not silently drop the informational ratio;
+            # carry the previous measurement forward (re-measured whenever
+            # the re-baseline passes --ratio-report).
+            try:
+                with open(args.golden) as f:
+                    previous = json.load(f).get("cache_speedup")
+                if previous is not None:
+                    golden["cache_speedup"] = previous
+            except (OSError, ValueError):
+                pass
         with open(args.golden, "w") as f:
             json.dump(golden, f, indent=2)
             f.write("\n")
@@ -72,32 +126,40 @@ def main():
         expected = json.load(f)["scenarios"]
 
     failures = []
-    expected_by_name = {e["name"]: e for e in expected}
-    actual_by_name = {a["name"]: a for a in actual}
-    for name in expected_by_name:
-        if name not in actual_by_name:
-            failures.append(f"missing scenario: {name}")
-    for name in actual_by_name:
-        if name not in expected_by_name:
-            failures.append(f"unexpected scenario: {name}")
-    for name, exp in expected_by_name.items():
-        act = actual_by_name.get(name)
-        if act is None:
-            continue
-        for field in FINGERPRINT_FIELDS:
-            if act[field] != exp[field]:
-                failures.append(
-                    f"{name}: {field} drifted — golden {exp[field]!r}, got {act[field]!r}"
-                )
+
+    def compare(label, got):
+        expected_by_name = {e["name"]: e for e in expected}
+        actual_by_name = {a["name"]: a for a in got}
+        for name in expected_by_name:
+            if name not in actual_by_name:
+                failures.append(f"{label}: missing scenario: {name}")
+        for name in actual_by_name:
+            if name not in expected_by_name:
+                failures.append(f"{label}: unexpected scenario: {name}")
+        for name, exp in expected_by_name.items():
+            act = actual_by_name.get(name)
+            if act is None:
+                continue
+            for field in FINGERPRINT_FIELDS:
+                if act[field] != exp[field]:
+                    failures.append(
+                        f"{label}: {name}: {field} drifted — "
+                        f"golden {exp[field]!r}, got {act[field]!r}"
+                    )
+
+    compare(args.report, actual)
+    if uncached_actual is not None:
+        compare(args.ratio_report, uncached_actual)
 
     if failures:
-        print(f"FAIL: {args.report} drifted from {args.golden}:")
+        print(f"FAIL: drift from {args.golden}:")
         for line in failures:
             print(f"  {line}")
         print("If the change is intentional, re-baseline with --write and commit.")
         return 1
 
-    print(f"OK: {len(actual)} scenarios match {args.golden}")
+    checked = len(actual) + (len(uncached_actual) if uncached_actual else 0)
+    print(f"OK: {checked} scenario fingerprints match {args.golden}")
     return 0
 
 
