@@ -158,7 +158,8 @@ int main(int argc, char** argv) {
   int invalid = 0;
   for (const ScenarioResult& r : report.results) {
     if (!r.valid) {
-      std::fprintf(stderr, "INVALID coloring for %s\n", r.scenario.name().c_str());
+      std::fprintf(stderr, "INVALID coloring for %s%s%s\n", r.scenario.name().c_str(),
+                   r.error.empty() ? "" : ": ", r.error.c_str());
       ++invalid;
     }
   }

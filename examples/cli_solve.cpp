@@ -2,22 +2,28 @@
 //
 //   usage: cli_solve [--algorithm bko|greedy|kw|luby|central] [--seed N]
 //                    [--list-palette C] [--shards N] [--threads N]
-//                    [--no-neighbor-cache] [--verbose] [graph.txt]
+//                    [--no-neighbor-cache] [--deadline-ms X] [--json]
+//                    [--serial-compat] [--verbose] [graph.txt]
 //
 // Input format (stdin if no file): "n m" header plus "u v" lines, or DIMACS
 // "p edge" / "e u v"; '#' and 'c' comments are skipped.
 // Output: one line per edge, "u v color", plus a summary on stderr.
 // With --list-palette C the instance uses random (deg+1)-lists from [0, C)
-// instead of the uniform (2*Delta-1) palette.  --shards N runs the bko
-// solver's rounds — the base-case primitives included — N-way parallel on
-// the sharded backend (identical output); --threads caps the worker threads
-// backing it (this single-instance CLI owns its pool; batch_solve instead
-// leases one shared pool to all of its sharded solves).
-// --no-neighbor-cache disables the incremental neighbor-color cache
-// (src/dist/neighbor_cache) and re-walks full neighborhoods every round —
-// the reference path; output is bit-identical either way.  --verbose adds
-// wall time, per-round wall time and the ledger's phase breakdown to the
-// summary.
+// instead of the uniform (2*Delta-1) palette.
+//
+// The bko algorithm routes through qplec::SolveService (src/service), the
+// same front door the batch runtime uses: --shards N runs the solve N-way
+// parallel on the sharded backend (identical output), --threads caps the
+// shard workers, --deadline-ms bounds the wall clock (the solve stops at a
+// round boundary with status deadline_exceeded).  --json replaces the edge
+// lines with one machine-readable outcome object on stdout — status, sizes,
+// rounds, timers, colors hash — for scripting against the service's outcome
+// surface; with an input FILE the request is submitted as a file source, so
+// the service reads, scrambles and builds the instance end-to-end.
+// --serial-compat bypasses the service and calls Solver::solve directly (the
+// reference path; bit-identical output).  --no-neighbor-cache disables the
+// incremental neighbor-color cache (identical output).  --verbose adds wall
+// time, per-round wall time and the ledger's phase breakdown.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +36,8 @@
 #include "src/coloring/validate.hpp"
 #include "src/core/solver.hpp"
 #include "src/graph/io.hpp"
+#include "src/runtime/batch_solver.hpp"
+#include "src/service/solve_service.hpp"
 
 namespace {
 
@@ -37,8 +45,70 @@ int usage() {
   std::fprintf(stderr,
                "usage: cli_solve [--algorithm bko|greedy|kw|luby|central] "
                "[--seed N] [--list-palette C] [--shards N] [--threads N] "
-               "[--no-neighbor-cache] [--verbose] [graph.txt]\n");
+               "[--no-neighbor-cache] [--deadline-ms X] [--json] "
+               "[--serial-compat] [--verbose] [graph.txt]\n");
   return 2;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters) —
+/// error messages carry file paths and assertion text verbatim, and a raw
+/// quote would corrupt the one record --json exists to make parseable.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The machine-readable outcome object --json prints on stdout: one flat
+/// JSON record mirroring the SolveOutcome surface (status first, then sizes,
+/// round counts, timers and the colors fingerprint).
+void print_json(const qplec::SolveOutcome& out, const std::string& algorithm,
+                std::int64_t initial_rounds, double wall_ms) {
+  std::printf("{\n");
+  std::printf("  \"status\": \"%s\",\n", qplec::status_name(out.status));
+  std::printf("  \"algorithm\": \"%s\",\n", algorithm.c_str());
+  std::printf("  \"nodes\": %d,\n", out.num_nodes);
+  std::printf("  \"edges\": %d,\n", out.num_edges);
+  std::printf("  \"delta\": %d,\n", out.max_degree);
+  std::printf("  \"delta_bar\": %d,\n", out.max_edge_degree);
+  std::printf("  \"palette\": %d,\n", out.palette_size);
+  std::printf("  \"shards\": %d,\n", out.shards);
+  std::printf("  \"rounds\": %lld,\n", static_cast<long long>(out.result.rounds));
+  std::printf("  \"raw_rounds\": %lld,\n", static_cast<long long>(out.result.raw_rounds));
+  std::printf("  \"initial_rounds\": %lld,\n", static_cast<long long>(initial_rounds));
+  std::printf("  \"queue_ms\": %.3f,\n", out.queue_ms);
+  std::printf("  \"build_ms\": %.3f,\n", out.build_ms);
+  std::printf("  \"solve_ms\": %.3f,\n", out.solve_ms);
+  std::printf("  \"wall_ms\": %.3f,\n", wall_ms);
+  std::printf("  \"colors_hash\": \"%llx\",\n",
+              static_cast<unsigned long long>(out.colors_hash));
+  std::printf("  \"valid\": %s,\n", out.valid ? "true" : "false");
+  std::printf("  \"error\": \"%s\"\n", json_escape(out.error).c_str());
+  std::printf("}\n");
 }
 
 }  // namespace
@@ -52,7 +122,10 @@ int main(int argc, char** argv) {
   Color list_palette = 0;
   int shards = 1;
   int threads = 0;
+  double deadline_ms = -1.0;
   bool neighbor_cache = true;
+  bool json = false;
+  bool serial_compat = false;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,8 +139,14 @@ int main(int argc, char** argv) {
       shards = std::atoi(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--no-neighbor-cache") {
       neighbor_cache = false;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--serial-compat") {
+      serial_compat = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -79,6 +158,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  ExecConfig config;
+  config.workers = 1;  // one job: the CLI's solve
+  config.shards = shards;
+  config.shard_threads = threads;
+  config.use_neighbor_cache = neighbor_cache;
+  if (shards > 1) config.min_sharded_edges = 0;  // --shards means shard it
+
+  const bool service_file_source =
+      algorithm == "bko" && !serial_compat && json && !path.empty();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_ms = [&] {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     wall_start)
+        .count();
+  };
+
+  // With --json and a FILE, the service owns the whole lifecycle (read,
+  // scramble, build, solve) — parse errors come back as an outcome, and the
+  // edge lines are replaced by the JSON record anyway.
+  if (service_file_source) {
+    SolveService service(config);
+    SolveRequest request = SolveRequest::from_dimacs(path).scramble_ids(seed).label(path);
+    if (list_palette > 0) request.random_lists(list_palette, seed + 1);
+    if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
+    const SolveOutcome out = service.solve(std::move(request));
+    print_json(out, algorithm, out.result.initial_rounds, wall_ms());
+    if (verbose && !out.result.round_report.empty()) {
+      std::fprintf(stderr, "%s", out.result.round_report.c_str());
+    }
+    return out.ok() && out.valid ? 0 : 1;
+  }
+
+  // --json must always leave one outcome record on stdout, error paths
+  // included — that is the whole point of a machine-readable mode.
+  const auto fail_json = [&](SolveStatus status, const std::string& error) {
+    SolveOutcome out;
+    out.status = status;
+    out.error = error;
+    print_json(out, algorithm, 0, wall_ms());
+    return 1;
+  };
+
+  // Every other path needs the graph locally (edge output, baselines).
   Graph g;
   try {
     if (path.empty()) {
@@ -87,87 +210,123 @@ int main(int argc, char** argv) {
       std::ifstream in(path);
       if (!in) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 1;
+        return json ? fail_json(SolveStatus::kInvalidInstance, "cannot open " + path) : 1;
       }
       g = read_edge_list(in);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
-    return 1;
+    return json ? fail_json(SolveStatus::kInvalidInstance, e.what()) : 1;
   }
   g = g.with_scrambled_ids(
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(g.num_nodes()) *
                                      std::max(1, g.num_nodes())),
       seed);
 
-  const ListEdgeColoringInstance instance =
+  ListEdgeColoringInstance instance =
       list_palette > 0 ? make_random_list_instance(g, list_palette, seed + 1)
                        : make_two_delta_instance(g);
 
-  EdgeColoring colors;
-  std::int64_t rounds = 0;
-  std::string round_report;
+  // Every algorithm's result funnels into one outcome record so the --json
+  // and text paths stay uniform.
+  SolveOutcome out;
+  out.num_nodes = instance.graph.num_nodes();
+  out.num_edges = instance.graph.num_edges();
+  out.max_degree = instance.graph.max_degree();
+  out.max_edge_degree = instance.graph.max_edge_degree();
+  out.palette_size = instance.palette_size;
+  out.shards = 1;
+
   const auto solve_start = std::chrono::steady_clock::now();
   try {
-    if (algorithm == "bko") {
-      ExecOptions exec;
-      exec.shards = shards;
-      exec.num_threads = threads;
-      exec.use_neighbor_cache = neighbor_cache;
-      if (shards > 1) exec.min_sharded_edges = 0;  // --shards means shard it
-      const auto res = Solver(Policy::practical(), exec).solve(instance);
-      colors = res.colors;
-      rounds = res.rounds;
-      round_report = res.round_report;
-    } else if (algorithm == "greedy") {
-      RoundLedger ledger;
-      const auto res = baseline_greedy_by_class(instance, ledger);
-      colors = res.colors;
-      rounds = res.rounds;
-    } else if (algorithm == "kw") {
-      RoundLedger ledger;
-      const auto res = baseline_kuhn_wattenhofer(instance, ledger);
-      colors = res.colors;
-      rounds = res.rounds;
-    } else if (algorithm == "luby") {
-      RoundLedger ledger;
-      const auto res = baseline_luby(instance, seed + 2, ledger);
-      colors = res.colors;
-      rounds = res.rounds;
-    } else if (algorithm == "central") {
-      colors = greedy_centralized(instance);
+    if (algorithm == "bko" && !serial_compat) {
+      SolveService service(config);
+      SolveRequest request = SolveRequest::from_instance(instance).label("cli_solve");
+      if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
+      out = service.solve(std::move(request));
+    } else if (algorithm == "bko") {
+      // --serial-compat: the direct, throwing Solver path (the reference the
+      // service's differential tests pin against).
+      const auto res = Solver(Policy::practical(), config.exec_options(nullptr)).solve(instance);
+      out.result = res;
+      out.colors_hash = hash_coloring(res.colors);
+      out.valid = is_valid_list_coloring(instance, res.colors);
+      out.status = SolveStatus::kOk;
     } else {
-      return usage();
+      RoundLedger ledger;
+      EdgeColoring colors;
+      if (algorithm == "greedy") {
+        const auto res = baseline_greedy_by_class(instance, ledger);
+        colors = res.colors;
+        out.result.rounds = res.rounds;
+      } else if (algorithm == "kw") {
+        const auto res = baseline_kuhn_wattenhofer(instance, ledger);
+        colors = res.colors;
+        out.result.rounds = res.rounds;
+      } else if (algorithm == "luby") {
+        const auto res = baseline_luby(instance, seed + 2, ledger);
+        colors = res.colors;
+        out.result.rounds = res.rounds;
+      } else if (algorithm == "central") {
+        colors = greedy_centralized(instance);
+      } else {
+        return usage();
+      }
+      out.colors_hash = hash_coloring(colors);
+      out.valid = is_valid_list_coloring(instance, colors);
+      out.status = SolveStatus::kOk;
+      out.result.colors = std::move(colors);
     }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "solve failed: %s\n", e.what());
+    return json ? fail_json(SolveStatus::kInvalidInstance, e.what()) : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "solve failed: %s\n", e.what());
-    return 1;
+    return json ? fail_json(SolveStatus::kInvariantViolation, e.what()) : 1;
+  }
+  if (out.solve_ms == 0.0) {
+    out.solve_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - solve_start)
+                       .count();
   }
 
-  const double solve_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                solve_start)
-          .count();
+  if (json) {
+    print_json(out, algorithm, out.result.initial_rounds, wall_ms());
+    if (verbose && !out.result.round_report.empty()) {
+      std::fprintf(stderr, "%s", out.result.round_report.c_str());
+    }
+    return out.ok() && out.valid ? 0 : 1;
+  }
 
-  std::string why;
-  if (!is_valid_list_coloring(instance, colors, &why)) {
-    std::fprintf(stderr, "INTERNAL ERROR — invalid output: %s\n", why.c_str());
+  if (!out.ok()) {
+    std::fprintf(stderr, "solve failed (%s): %s\n", status_name(out.status),
+                 out.error.c_str());
+    return 1;
+  }
+  if (!out.valid) {
+    std::fprintf(stderr, "INTERNAL ERROR — invalid output\n");
     return 1;
   }
   for (EdgeId e = 0; e < instance.graph.num_edges(); ++e) {
     const auto& ep = instance.graph.endpoints(e);
-    std::printf("%d %d %d\n", ep.u, ep.v, colors[static_cast<std::size_t>(e)]);
+    std::printf("%d %d %d\n", ep.u, ep.v,
+                out.result.colors[static_cast<std::size_t>(e)]);
   }
   std::fprintf(stderr, "# %s: n=%d m=%d Delta=%d palette=%d rounds=%lld — valid\n",
-               algorithm.c_str(), instance.graph.num_nodes(),
-               instance.graph.num_edges(), instance.graph.max_degree(),
-               instance.palette_size, static_cast<long long>(rounds));
+               algorithm.c_str(), out.num_nodes, out.num_edges, out.max_degree,
+               out.palette_size, static_cast<long long>(out.result.rounds));
   if (verbose) {
-    std::fprintf(stderr, "# shards=%d threads=%d wall=%.3f ms, %.4f ms/round over %lld rounds\n",
+    const double solve_ms = out.solve_ms;
+    std::fprintf(stderr,
+                 "# shards=%d threads=%d wall=%.3f ms, %.4f ms/round over %lld rounds "
+                 "(queue %.3f ms)\n",
                  shards, threads, solve_ms,
-                 rounds > 0 ? solve_ms / static_cast<double>(rounds) : 0.0,
-                 static_cast<long long>(rounds));
-    if (!round_report.empty()) std::fprintf(stderr, "%s", round_report.c_str());
+                 out.result.rounds > 0 ? solve_ms / static_cast<double>(out.result.rounds)
+                                       : 0.0,
+                 static_cast<long long>(out.result.rounds), out.queue_ms);
+    if (!out.result.round_report.empty()) {
+      std::fprintf(stderr, "%s", out.result.round_report.c_str());
+    }
   }
   return 0;
 }

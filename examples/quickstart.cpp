@@ -1,12 +1,12 @@
-// Quickstart: color the edges of a graph with 2*Delta - 1 colors using the
-// paper's algorithm, inspect the result and the LOCAL round bill.
+// Quickstart: color the edges of a graph with 2*Delta - 1 colors through the
+// qplec::SolveService front door, inspect the outcome and the round bill.
 //
 //   $ ./quickstart
 #include <cstdio>
 
 #include "src/coloring/validate.hpp"
-#include "src/core/solver.hpp"
 #include "src/graph/generators.hpp"
+#include "src/service/solve_service.hpp"
 
 int main() {
   using namespace qplec;
@@ -20,13 +20,23 @@ int main() {
   // 2. The classic problem: every edge may use colors {0 .. 2*Delta-2}.
   const ListEdgeColoringInstance instance = make_two_delta_instance(g);
 
-  // 3. Solve with the Balliu–Kuhn–Olivetti recursion.
-  const Solver solver(Policy::practical());
-  const SolveResult result = solver.solve(instance);
+  // 3. Solve via the service: submit returns a ticket immediately; wait()
+  //    never throws — every failure mode is a status on the outcome.
+  SolveService service;  // default ExecConfig: hardware workers, serial solves
+  const SolveTicket ticket =
+      service.submit(SolveRequest::from_instance(instance).label("quickstart"));
+  const SolveOutcome& outcome = ticket.wait();
+  if (!outcome.ok()) {
+    std::printf("solve failed (%s): %s\n", status_name(outcome.status),
+                outcome.error.c_str());
+    return 1;
+  }
+  const SolveResult& result = outcome.result;
 
-  // 4. The solver validates internally; double-check here for the reader.
+  // 4. The service validated the coloring independently (outcome.valid);
+  //    double-check here for the reader.
   std::string why;
-  if (!is_valid_list_coloring(instance, result.colors, &why)) {
+  if (!outcome.valid || !is_valid_list_coloring(instance, result.colors, &why)) {
     std::printf("INVALID: %s\n", why.c_str());
     return 1;
   }
@@ -39,10 +49,12 @@ int main() {
                 result.colors[static_cast<std::size_t>(e)]);
   }
 
-  // 6. The LOCAL-model bill.
+  // 6. The LOCAL-model bill, plus the service-side timers.
   std::printf("\nLOCAL rounds (effective): %lld\n", static_cast<long long>(result.rounds));
   std::printf("  of which initial coloring (log* n part): %lld\n",
               static_cast<long long>(result.initial_rounds));
+  std::printf("service timers: queue %.3f ms, solve %.3f ms\n", outcome.queue_ms,
+              outcome.solve_ms);
   std::printf("round breakdown:\n%s\n", result.round_report.c_str());
   std::printf("recursion stats: basecases=%lld defective=%lld trivial-picks=%lld\n",
               static_cast<long long>(result.stats.basecase_calls),

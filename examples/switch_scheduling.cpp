@@ -8,14 +8,17 @@
 // within 2x of the trivial lower bound Delta — computed *distributedly*, so
 // line cards only talk to their direct peers.
 //
+// Two demand matrices are submitted to one SolveService concurrently (async
+// tickets, priority-scheduled): the switch reschedules the next epoch while
+// the control plane still reads the current one.
+//
 //   $ ./switch_scheduling
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "src/coloring/validate.hpp"
-#include "src/core/solver.hpp"
 #include "src/graph/generators.hpp"
+#include "src/service/solve_service.hpp"
 
 int main() {
   using namespace qplec;
@@ -23,29 +26,50 @@ int main() {
   constexpr int kPorts = 16;
   constexpr int kFlowsPerInput = 6;
 
-  // Demand: each input port has packets for 6 random distinct outputs.
+  // Demand: each input port has packets for 6 random distinct outputs; the
+  // next epoch's demand differs (another seed), and the current epoch's
+  // schedule matters more — it gets the higher priority.
   const Graph demand =
       make_random_bipartite_regular(kPorts, kPorts, kFlowsPerInput, /*seed=*/11)
           .with_scrambled_ids(kPorts * kPorts * 4, 3);
-  std::printf("switch: %d inputs x %d outputs, %d flows, max port load Delta=%d\n",
-              kPorts, kPorts, demand.num_edges(), demand.max_degree());
+  const Graph next_demand =
+      make_random_bipartite_regular(kPorts, kPorts, kFlowsPerInput, /*seed=*/12)
+          .with_scrambled_ids(kPorts * kPorts * 4, 5);
+  std::printf("switch: %d inputs x %d outputs, %d flows now (+%d next epoch), "
+              "max port load Delta=%d\n",
+              kPorts, kPorts, demand.num_edges(), next_demand.num_edges(),
+              demand.max_degree());
 
-  const auto instance = make_two_delta_instance(demand);
-  const SolveResult result = Solver(Policy::practical()).solve(instance);
-  expect_valid_solution(instance, result.colors);
+  SolveService service(ExecConfig{.workers = 2});
+  const SolveTicket current = service.submit(
+      SolveRequest::from_instance(make_two_delta_instance(demand))
+          .priority(1)
+          .label("epoch-current"));
+  const SolveTicket next = service.submit(
+      SolveRequest::from_instance(make_two_delta_instance(next_demand))
+          .priority(0)
+          .label("epoch-next"));
 
-  const Color slots =
-      *std::max_element(result.colors.begin(), result.colors.end()) + 1;
+  const SolveOutcome& outcome = current.wait();
+  if (!outcome.ok() || !outcome.valid) {
+    std::printf("scheduling failed (%s): %s\n", status_name(outcome.status),
+                outcome.error.c_str());
+    return 1;
+  }
+  const EdgeColoring& colors = outcome.result.colors;
+
+  const Color slots = *std::max_element(colors.begin(), colors.end()) + 1;
   std::printf("schedule uses %d timeslots (lower bound Delta=%d, palette 2D-1=%d)\n",
-              slots, demand.max_degree(), instance.palette_size);
-  std::printf("computed in %lld LOCAL rounds\n\n", static_cast<long long>(result.rounds));
+              slots, demand.max_degree(), outcome.palette_size);
+  std::printf("computed in %lld LOCAL rounds (queued %.3f ms)\n\n",
+              static_cast<long long>(outcome.result.rounds), outcome.queue_ms);
 
   // Print the first few timeslots as matchings.
   for (Color t = 0; t < std::min<Color>(slots, 4); ++t) {
     std::printf("timeslot %d:", t);
     int shown = 0;
     for (EdgeId e = 0; e < demand.num_edges(); ++e) {
-      if (result.colors[static_cast<std::size_t>(e)] != t) continue;
+      if (colors[static_cast<std::size_t>(e)] != t) continue;
       const auto& ep = demand.endpoints(e);
       std::printf(" in%d->out%d", ep.u, ep.v - kPorts);
       if (++shown == 8) {
@@ -60,7 +84,7 @@ int main() {
   for (Color t = 0; t < slots; ++t) {
     std::vector<int> used(static_cast<std::size_t>(demand.num_nodes()), 0);
     for (EdgeId e = 0; e < demand.num_edges(); ++e) {
-      if (result.colors[static_cast<std::size_t>(e)] != t) continue;
+      if (colors[static_cast<std::size_t>(e)] != t) continue;
       const auto& ep = demand.endpoints(e);
       if (used[static_cast<std::size_t>(ep.u)]++ || used[static_cast<std::size_t>(ep.v)]++) {
         std::printf("CONFLICT in slot %d!\n", t);
@@ -69,5 +93,10 @@ int main() {
     }
   }
   std::printf("\nevery timeslot is a matching — schedule is feasible.\n");
-  return 0;
+
+  const SolveOutcome& upcoming = next.wait();
+  std::printf("next epoch prepared in the background: %s, %lld rounds, %d slots max\n",
+              status_name(upcoming.status),
+              static_cast<long long>(upcoming.result.rounds), upcoming.palette_size);
+  return upcoming.ok() ? 0 : 1;
 }

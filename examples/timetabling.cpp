@@ -7,6 +7,10 @@
 // solver produces a feasible timetable and we compare against the
 // centralized greedy's period count.
 //
+// The solve runs through qplec::SolveService with a wall-clock deadline: a
+// scheduler embedded in a planning loop would rather get status
+// deadline_exceeded at a round boundary than block the loop.
+//
 //   $ ./timetabling
 #include <algorithm>
 #include <cstdio>
@@ -14,8 +18,8 @@
 
 #include "src/coloring/greedy.hpp"
 #include "src/coloring/validate.hpp"
-#include "src/core/solver.hpp"
 #include "src/graph/builder.hpp"
+#include "src/service/solve_service.hpp"
 
 int main() {
   using namespace qplec;
@@ -35,7 +39,21 @@ int main() {
               kTeachers, kClasses, school.num_edges(), school.max_degree());
 
   const auto instance = make_two_delta_instance(school);
-  const SolveResult result = Solver(Policy::practical()).solve(instance);
+
+  SolveService service;
+  const SolveOutcome outcome = service.solve(SolveRequest::from_instance(instance)
+                                                 .deadline_ms(30000)  // generous here
+                                                 .label("timetabling"));
+  if (outcome.status == SolveStatus::kDeadlineExceeded) {
+    std::printf("no timetable within the deadline — falling back to yesterday's\n");
+    return 1;
+  }
+  if (!outcome.ok()) {
+    std::printf("timetabling failed (%s): %s\n", status_name(outcome.status),
+                outcome.error.c_str());
+    return 1;
+  }
+  const SolveResult& result = outcome.result;
   expect_valid_solution(instance, result.colors);
 
   const Color periods =

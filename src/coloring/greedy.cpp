@@ -10,7 +10,7 @@ namespace qplec {
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
                        std::vector<Color>& out, RoundLedger& ledger,
-                       const ExecBackend* exec) {
+                       const ExecBackend* exec, const SolveControl* control) {
   const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   QPLEC_REQUIRE(out.size() == static_cast<std::size_t>(view.num_items()));
   QPLEC_REQUIRE(lists.size() == static_cast<std::size_t>(view.num_items()));
@@ -71,6 +71,10 @@ void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& l
   std::vector<std::size_t> batch;  // by_class slots of the current region
   std::size_t pos = 0;
   while (pos < by_class.size()) {
+    // Between class rounds (the scatter below has fully landed): the one
+    // spot where a long O(d^2)-round sweep can be cancelled mid-flight.
+    solve_checkpoint(control,
+                     [&] { return RoundProgress{ledger.total(), ledger.raw_total()}; });
     batch.clear();
     auto class_end = [&](std::size_t from) {
       std::size_t end = from;
@@ -141,12 +145,12 @@ ConflictSolveResult solve_conflict_list(const ConflictView& view,
                                         const std::vector<std::uint64_t>& phi0,
                                         std::uint64_t palette0, int degree_bound,
                                         std::vector<Color>& out, RoundLedger& ledger,
-                                        const ExecBackend* exec) {
+                                        const ExecBackend* exec, const SolveControl* control) {
   ConflictSolveResult res;
   LinialResult lin = linial_reduce(view, phi0, palette0, degree_bound, ledger, exec);
   res.linial_rounds = lin.rounds;
   res.sweep_palette = lin.palette;
-  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger, exec);
+  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger, exec, control);
   return res;
 }
 

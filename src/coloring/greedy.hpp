@@ -16,6 +16,7 @@
 #include "src/coloring/conflict.hpp"
 #include "src/coloring/palette.hpp"
 #include "src/coloring/problem.hpp"
+#include "src/common/control.hpp"
 #include "src/dist/backend.hpp"
 #include "src/local/ledger.hpp"
 
@@ -48,10 +49,15 @@ inline constexpr int kGreedyBatchQuantum = 128;
 /// incrementally — a newly colored item's color is scattered once to each
 /// uncolored neighbor's accumulator between rounds — and consecutive small
 /// classes batch into one region (kGreedyBatchQuantum) when independent.
+///
+/// `control` (optional) is polled between class rounds: the sweep is the
+/// charge-dominant stretch of every base case, so cancellation latency is
+/// bounded by one class region, not the whole O(d^2)-round sweep.
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
                        std::vector<Color>& out, RoundLedger& ledger,
-                       const ExecBackend* exec = nullptr);
+                       const ExecBackend* exec = nullptr,
+                       const SolveControl* control = nullptr);
 
 struct ConflictSolveResult {
   int linial_rounds = 0;
@@ -67,7 +73,8 @@ ConflictSolveResult solve_conflict_list(const ConflictView& view,
                                         const std::vector<std::uint64_t>& phi0,
                                         std::uint64_t palette0, int degree_bound,
                                         std::vector<Color>& out, RoundLedger& ledger,
-                                        const ExecBackend* exec = nullptr);
+                                        const ExecBackend* exec = nullptr,
+                                        const SolveControl* control = nullptr);
 
 /// Centralized sequential greedy (not a distributed algorithm): colors edges
 /// in id order with the smallest available list color.  Ground truth that a

@@ -1,0 +1,80 @@
+// SolveControl — cooperative cancellation, deadlines and progress streaming
+// for one solve, checked only BETWEEN LOCAL rounds.
+//
+// The paper's round structure is inherently checkpointable: every pass the
+// engine runs (refresh, mark-active, subspace assignment, a class solve) ends
+// at a synchronous round barrier, and nothing the solver computes depends on
+// wall time.  A SolveControl hooks exactly those barriers: the engine polls
+// it at the serial points between rounds (never inside a parallel region), so
+//   * a cancelled or deadline-exceeded solve stops cleanly by unwinding with
+//     SolveInterrupted (no partial output escapes), and
+//   * a solve that runs to completion is bit-identical to an uncontrolled
+//     one — the checkpoints observe, they never steer the round schedule.
+// SolveService (src/service) owns one SolveControl per submitted job; the
+// engine and every child engine of the recursion share the parent's pointer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+namespace qplec {
+
+/// Snapshot handed to a progress callback between rounds: the ledger totals
+/// accumulated so far (monotone within one solve).
+struct RoundProgress {
+  std::int64_t rounds = 0;      ///< effective LOCAL rounds so far
+  std::int64_t raw_rounds = 0;  ///< parallelism-ignoring charge sum so far
+};
+
+/// Thrown from a checkpoint to unwind a solve that was cancelled or ran out
+/// of deadline.  Never escapes the service layer (SolveService maps it to a
+/// SolveOutcome status); direct Solver callers using a SolveControl must
+/// catch it themselves.
+class SolveInterrupted : public std::runtime_error {
+ public:
+  enum class Reason { kCancelled, kDeadlineExceeded };
+
+  explicit SolveInterrupted(Reason reason)
+      : std::runtime_error(reason == Reason::kCancelled ? "solve cancelled at a round boundary"
+                                                        : "solve deadline exceeded"),
+        reason_(reason) {}
+
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+/// Shared between the submitting thread (which flips `cancel` / armed the
+/// deadline) and the solving thread (which polls at round boundaries).  The
+/// callback runs on the solving thread, between rounds, and must not mutate
+/// solver state.
+struct SolveControl {
+  std::atomic<bool> cancel{false};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Called once per checkpoint (at least once per engine round).  Computing
+  /// the progress snapshot walks the ledger tree, so the totals are only
+  /// evaluated when a callback is installed.
+  std::function<void(const RoundProgress&)> on_round;
+};
+
+/// The between-rounds poll.  `progress_fn` lazily builds the RoundProgress
+/// snapshot (only invoked when a callback is installed).  No-op when control
+/// is null — the uncontrolled path stays zero-cost.
+template <typename ProgressFn>
+inline void solve_checkpoint(const SolveControl* control, ProgressFn&& progress_fn) {
+  if (control == nullptr) return;
+  if (control->on_round) control->on_round(progress_fn());
+  if (control->cancel.load(std::memory_order_relaxed)) {
+    throw SolveInterrupted(SolveInterrupted::Reason::kCancelled);
+  }
+  if (control->has_deadline && std::chrono::steady_clock::now() >= control->deadline) {
+    throw SolveInterrupted(SolveInterrupted::Reason::kDeadlineExceeded);
+  }
+}
+
+}  // namespace qplec

@@ -16,7 +16,8 @@ namespace qplec {
 SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                            std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                            const Policy& policy, RoundLedger& ledger, SolverStats& stats,
-                           int depth, const ExecBackend* exec, bool use_neighbor_cache)
+                           int depth, const ExecBackend* exec, bool use_neighbor_cache,
+                           const SolveControl* control)
     : g_(g),
       work_(std::move(lists)),
       palette_(palette),
@@ -28,6 +29,7 @@ SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color p
       base_depth_(depth),
       exec_(exec != nullptr ? exec : &serial_backend()),
       use_neighbor_cache_(use_neighbor_cache),
+      control_(control),
       final_(static_cast<std::size_t>(g.num_edges()), kUncolored) {
   QPLEC_REQUIRE(work_.size() == static_cast<std::size_t>(g.num_edges()));
   QPLEC_REQUIRE(phi_.size() == static_cast<std::size_t>(g.num_edges()));
@@ -114,6 +116,7 @@ int SolverEngine::max_induced_degree(const EdgeSubset& s) const {
 }
 
 void SolverEngine::solve_basecase(const EdgeSubset& H) {
+  checkpoint();
   ++stats_.basecase_calls;
   refresh_lists(H);
   const LineGraphConflict view(g_, H);
@@ -123,7 +126,7 @@ void SolverEngine::solve_basecase(const EdgeSubset& H) {
                          induced_degree(lane, e, H) + 1,
                      "base case feasibility violated at edge " << e);
   });
-  solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_, exec_);
+  solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_, exec_, control_);
   // The whole subset finalized at once: record the deltas for the next
   // flush (lane queues concatenate to ascending id order either way).
   exec_->for_members(H, [&](int lane, EdgeId e) {
@@ -137,6 +140,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
   int guard = 0;
   while (!H.empty()) {
     QPLEC_ASSERT_MSG(++guard <= 64, "no-slack outer loop failed to terminate");
+    checkpoint();
     refresh_lists(H);
     const int d = max_induced_degree(H);
 
@@ -190,6 +194,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
         continue;
       }
       ++stats_.classes_nonempty;
+      checkpoint();
       auto scope = ledger_.sequential("defective-class");
       // Marking round: remove used neighbor colors, test |L_e| > deg(e)/2.
       // The pruning is e-local; the activity verdicts land in per-edge flags
@@ -254,6 +259,7 @@ void SolverEngine::solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi,
   note_depth(depth);
   if (A.empty()) return;
   QPLEC_REQUIRE(slack >= 1.0);
+  checkpoint();
 
   const int d = max_induced_degree(A);
 

@@ -29,6 +29,7 @@
 
 #include "src/coloring/palette.hpp"
 #include "src/coloring/problem.hpp"
+#include "src/common/control.hpp"
 #include "src/core/policy.hpp"
 #include "src/dist/backend.hpp"
 #include "src/dist/neighbor_cache.hpp"
@@ -88,10 +89,15 @@ class SolverEngine {
   /// newly finalized neighbor colors instead of rescanning the global final
   /// array and full neighborhoods (ExecOptions::use_neighbor_cache routes
   /// here; children inherit the setting).  Bit-identical either way.
+  /// control: optional cancellation/deadline/progress hook, polled at the
+  /// serial points between rounds only (children inherit the pointer); a
+  /// cancelled solve unwinds with SolveInterrupted, a completed solve is
+  /// bit-identical with or without a control attached.
   SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                const Policy& policy, RoundLedger& ledger, SolverStats& stats, int depth,
-               const ExecBackend* exec = nullptr, bool use_neighbor_cache = true);
+               const ExecBackend* exec = nullptr, bool use_neighbor_cache = true,
+               const SolveControl* control = nullptr);
 
   /// Colors every edge; the result is proper (asserted) and each edge's
   /// color comes from the list the engine was given.
@@ -149,6 +155,16 @@ class SolverEngine {
 
   void note_depth(int depth);
 
+  // Polls the attached SolveControl (cancel flag, deadline, progress
+  // callback).  Called only from the serial sections between rounds — never
+  // inside a backend pass — so throwing here unwinds cleanly at a round
+  // barrier with no parallel work in flight.
+  void checkpoint() const {
+    solve_checkpoint(control_, [&] {
+      return RoundProgress{ledger_.total(), ledger_.raw_total()};
+    });
+  }
+
   const Graph& g_;
   std::vector<ColorList> work_;
   Color palette_;
@@ -160,6 +176,7 @@ class SolverEngine {
   int base_depth_;
   const ExecBackend* exec_;  ///< never null; serial_backend() by default
   bool use_neighbor_cache_;  ///< inherited by the children the recursion spawns
+  const SolveControl* control_;  ///< null when uncontrolled; children inherit
   EdgeColoring final_;
   std::unique_ptr<NeighborColorCache> cache_;  ///< null on the uncached path
 };

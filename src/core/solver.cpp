@@ -8,13 +8,14 @@
 
 namespace qplec {
 
-SolveResult Solver::solve(const ListEdgeColoringInstance& instance) const {
+SolveResult Solver::solve(const ListEdgeColoringInstance& instance,
+                          const SolveControl* control) const {
   validate_instance(instance);
-  return run(instance, 1.0);
+  return run(instance, 1.0, control);
 }
 
-SolveResult Solver::solve_relaxed(const ListEdgeColoringInstance& instance,
-                                  double slack) const {
+SolveResult Solver::solve_relaxed(const ListEdgeColoringInstance& instance, double slack,
+                                  const SolveControl* control) const {
   QPLEC_REQUIRE(slack >= 1.0);
   const Graph& g = instance.graph;
   QPLEC_REQUIRE(static_cast<int>(instance.lists.size()) == g.num_edges());
@@ -24,10 +25,11 @@ SolveResult Solver::solve_relaxed(const ListEdgeColoringInstance& instance,
             slack * g.edge_degree(e),
         "edge " << e << " violates |L| > " << slack << " * deg(e)");
   }
-  return run(instance, slack);
+  return run(instance, slack, control);
 }
 
-SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) const {
+SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack,
+                        const SolveControl* control) const {
   const Graph& g = instance.graph;
 
   SolveResult res;
@@ -37,6 +39,10 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) 
   }
 
   RoundLedger ledger;
+  const auto checkpoint = [&] {
+    solve_checkpoint(control, [&] { return RoundProgress{ledger.total(), ledger.raw_total()}; });
+  };
+  checkpoint();
 
   // Execution-backend selection: large instances fan each round out over
   // edge shards (src/dist); everything else keeps the seed's serial path.
@@ -58,11 +64,12 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack) 
   }
   res.initial_rounds = ledger.total();
   res.phi_palette = lin.palette;
+  checkpoint();  // between the O(log* n) phi phase and the recursion proper
 
   // Phases 1+: the Section 4 recursion.
   SolverEngine engine(g, instance.lists, instance.palette_size, std::move(lin.colors),
                       lin.palette, policy_, ledger, res.stats, 0, exec,
-                      exec_.use_neighbor_cache);
+                      exec_.use_neighbor_cache, control);
   {
     auto scope = ledger.sequential("list-edge-coloring");
     res.colors = slack > 1.0 ? engine.solve_relaxed_instance(slack) : engine.solve();

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/coloring/problem.hpp"
+#include "src/common/control.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/policy.hpp"
 #include "src/dist/backend.hpp"
@@ -44,16 +45,23 @@ class Solver {
 
   /// Solves the instance; throws InvariantViolation if any internal
   /// guarantee fails and returns a solution validated against `instance`.
-  SolveResult solve(const ListEdgeColoringInstance& instance) const;
+  /// control (optional) hooks the round boundaries: cancellation / deadline
+  /// unwind with SolveInterrupted, the progress callback streams ledger
+  /// totals between rounds.  A solve that completes is bit-identical with or
+  /// without a control attached (SolveService relies on this).
+  SolveResult solve(const ListEdgeColoringInstance& instance,
+                    const SolveControl* control = nullptr) const;
 
   /// Solves the paper's relaxed problem P(dbar, S, C) (Lemma 4.5): requires
   /// |L_e| > slack * deg(e) for every edge (throws otherwise).  With slack
   /// >= 24*H_4*log2(2) = 50 this enters the color-space-reduction path
   /// directly.
-  SolveResult solve_relaxed(const ListEdgeColoringInstance& instance, double slack) const;
+  SolveResult solve_relaxed(const ListEdgeColoringInstance& instance, double slack,
+                            const SolveControl* control = nullptr) const;
 
  private:
-  SolveResult run(const ListEdgeColoringInstance& instance, double slack) const;
+  SolveResult run(const ListEdgeColoringInstance& instance, double slack,
+                  const SolveControl* control) const;
 
   Policy policy_;
   ExecOptions exec_;

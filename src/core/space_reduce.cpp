@@ -32,6 +32,7 @@ namespace qplec {
 std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, Color hi,
                                                 int p, int depth) {
   note_depth(depth);
+  checkpoint();
   const PalettePartition partition = PalettePartition::uniform(hi - lo, p);
   const int q = partition.num_parts();
   QPLEC_ASSERT(q >= 1 && q <= p);
@@ -112,7 +113,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     }
     SolverEngine child(vg, std::move(child_lists), static_cast<Color>(q),
                        std::move(child_phi), phi_palette_, policy_, ledger_, stats_,
-                       depth + 1, /*exec=*/nullptr, use_neighbor_cache_);
+                       depth + 1, /*exec=*/nullptr, use_neighbor_cache_, control_);
     const EdgeColoring chosen = child.solve();
     for (EdgeId ve = 0; ve < vg.num_edges(); ++ve) {
       const EdgeId e = parent_of[static_cast<std::size_t>(ve)];
@@ -130,6 +131,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     });
     if (e1.empty()) continue;
     ++stats_.phases_executed;
+    checkpoint();
     ledger_.charge(1, "space-phase-je");
 
     // Candidate sets J_e.  part_of is frozen during this step (phase
@@ -207,6 +209,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
   });
   if (!e2.empty()) {
     ++stats_.e2_instances;
+    checkpoint();
     ledger_.charge(1, "space-e2-free");
     // Candidates: parts with a big intersection, minus parts taken by any
     // already-assigned neighbor (so E(2) edges end conflict-free).  Timed

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <memory>
 #include <thread>
+#include <utility>
+#include <vector>
 
-#include "src/coloring/validate.hpp"
-#include "src/runtime/thread_pool.hpp"
+#include "src/service/solve_service.hpp"
 
 namespace qplec {
 
@@ -16,23 +16,6 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
       .count();
 }
-
-/// Per-worker scratch: one Solver per policy kind, constructed once and
-/// reused for every scenario the worker (or a thief hand-off) executes.
-/// Every solver carries the batch's ExecOptions; each decides per instance
-/// (by edge count) whether to spin up the sharded backend.
-struct WorkerScratch {
-  explicit WorkerScratch(const ExecOptions& exec)
-      : practical(make_policy(PolicyKind::kPractical), exec),
-        paper(make_policy(PolicyKind::kPaper), exec) {}
-
-  Solver practical;
-  Solver paper;
-
-  const Solver& solver_for(PolicyKind kind) const {
-    return kind == PolicyKind::kPaper ? paper : practical;
-  }
-};
 
 }  // namespace
 
@@ -53,59 +36,64 @@ int BatchSolver::num_threads() const {
 }
 
 BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
-  // One shard-worker pool for the whole batch, leased to every sharded
-  // solve: sized once (like a standalone ShardedExecution would size
-  // itself), spawned once, and shared — concurrent sharded solves serialize
-  // their round fan-outs on it instead of oversubscribing the machine with
-  // per-instance pools.  Declared before the scenario pool so it outlives
-  // every worker that might hold the lease.
-  ExecOptions exec = options_.exec;
-  std::unique_ptr<ThreadPool> shard_pool;
-  if (exec.shards > 1 && exec.shared_pool == nullptr) {
-    shard_pool = std::make_unique<ThreadPool>(exec.pool_threads());
-    exec.shared_pool = shard_pool.get();
-  }
-
-  ThreadPool pool(options_.num_threads);
+  // Lower the legacy BatchOptions to the service's consolidated ExecConfig.
+  // The service owns both pools (scenario workers + the one shard-worker
+  // lease every sharded solve shares); a caller-provided shared pool is
+  // passed through and must outlive the batch.
+  ExecConfig config;
+  config.workers = options_.num_threads;
+  config.shards = options_.exec.shards;
+  config.shard_threads = options_.exec.num_threads;
+  config.min_sharded_edges = options_.exec.min_sharded_edges;
+  config.use_neighbor_cache = options_.exec.use_neighbor_cache;
+  config.shared_pool = options_.exec.shared_pool;
 
   BatchReport report;
-  report.num_threads = pool.num_threads();
   report.results.resize(manifest.size());
 
-  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(pool.num_threads()),
-                                     WorkerScratch(exec));
-
   const auto batch_start = std::chrono::steady_clock::now();
-  pool.run_indexed(static_cast<int>(manifest.size()), [&](int worker_id, int index) {
-    const Scenario& scenario = manifest[static_cast<std::size_t>(index)];
-    ScenarioResult& out = report.results[static_cast<std::size_t>(index)];
-    out.scenario = scenario;
+  {
+    SolveService service(config);
+    report.num_threads = service.workers();
 
-    const auto build_start = std::chrono::steady_clock::now();
-    const ListEdgeColoringInstance instance = build_instance(scenario);
-    out.build_ms = ms_since(build_start);
-    out.num_nodes = instance.graph.num_nodes();
-    out.num_edges = instance.graph.num_edges();
-    out.max_degree = instance.graph.max_degree();
-    out.max_edge_degree = instance.graph.max_edge_degree();
-    out.palette_size = instance.palette_size;
-    out.shards = options_.exec.effective_shards(out.num_edges);
+    // Submit-all, then wait in manifest order: result i is scenario i.
+    std::vector<SolveTicket> tickets;
+    tickets.reserve(manifest.size());
+    for (const Scenario& scenario : manifest) {
+      SolveRequest request = SolveRequest::from_scenario(scenario);
+      if (!options_.keep_colors) request.discard_colors();
+      tickets.push_back(service.submit(std::move(request)));
+    }
 
-    const Solver& solver =
-        scratch[static_cast<std::size_t>(worker_id)].solver_for(scenario.policy);
-    const auto solve_start = std::chrono::steady_clock::now();
-    const SolveResult res = solver.solve(instance);
-    out.solve_ms = ms_since(solve_start);
-
-    out.rounds = res.rounds;
-    out.raw_rounds = res.raw_rounds;
-    out.colors_hash = hash_coloring(res.colors);
-    out.valid = is_valid_list_coloring(instance, res.colors);
-    out.edges_per_sec = out.solve_ms > 0
-                            ? static_cast<double>(out.num_edges) / (out.solve_ms / 1000.0)
-                            : 0.0;
-    if (options_.keep_colors) out.colors = res.colors;
-  });
+    for (std::size_t i = 0; i < manifest.size(); ++i) {
+      // take() moves the outcome out of the job: with keep_colors on a big
+      // manifest the colorings change hands instead of living twice until
+      // the service winds down.
+      SolveOutcome out = tickets[i].take();
+      ScenarioResult& r = report.results[i];
+      r.scenario = manifest[i];
+      r.num_nodes = out.num_nodes;
+      r.num_edges = out.num_edges;
+      r.max_degree = out.max_degree;
+      r.max_edge_degree = out.max_edge_degree;
+      r.palette_size = out.palette_size;
+      r.shards = out.shards;
+      r.rounds = out.result.rounds;
+      r.raw_rounds = out.result.raw_rounds;
+      r.colors_hash = out.colors_hash;
+      // An invalid coloring is reported, not thrown — and any non-Ok outcome
+      // (the service never throws) lands here as a plainly invalid row, with
+      // the error detail preserved for the report.
+      r.valid = out.ok() && out.valid;
+      r.error = std::move(out.error);
+      r.queue_ms = out.queue_ms;
+      r.build_ms = out.build_ms;
+      r.solve_ms = out.solve_ms;
+      r.edges_per_sec =
+          r.solve_ms > 0 ? static_cast<double>(r.num_edges) / (r.solve_ms / 1000.0) : 0.0;
+      if (options_.keep_colors) r.colors = std::move(out.result.colors);
+    }
+  }  // service winds down before the wall clock stops, like the old pool did
   report.wall_ms = ms_since(batch_start);
 
   for (const ScenarioResult& r : report.results) {

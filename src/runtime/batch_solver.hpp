@@ -1,16 +1,16 @@
-// BatchSolver — the parallel batch-solve service.
+// BatchSolver — the whole-manifest barrier adapter over SolveService.
 //
 // The paper's algorithm is a single-instance round structure, but the
-// simulator's workload is embarrassingly parallel *across* instances: a
-// manifest of scenarios shards across a fixed pool of workers
-// (src/runtime/thread_pool.hpp), each worker reusing one Solver per policy
-// kind and its own scratch, with work stealing to absorb the orders-of-
-// magnitude cost spread between scenarios.
+// simulator's workload is embarrassingly parallel *across* instances.  Since
+// the SolveService front door (src/service) subsumed the solve pipeline,
+// BatchSolver is a thin adapter: submit every scenario of the manifest to
+// one service, wait in manifest order, and fold the outcomes into the
+// BatchReport shape the benches and CI gates consume.
 //
-// Determinism guarantee: every per-instance quantity (graph, lists, solver
-// run) derives from the scenario's seed alone, so a batch's results — colors
-// included — are bit-identical for any worker count.  test_batch_solver.cpp
-// pins this down.
+// Determinism guarantee (unchanged): every per-instance quantity (graph,
+// lists, solver run) derives from the scenario's seed alone, so a batch's
+// results — colors included — are bit-identical for any worker count.
+// test_batch_solver.cpp pins this down.
 #pragma once
 
 #include <cstdint>
@@ -22,17 +22,20 @@
 
 namespace qplec {
 
+/// Legacy knob bundle, kept for source compatibility; BatchSolver lowers it
+/// to the service-level ExecConfig.  New code should construct a
+/// SolveService with an ExecConfig directly.
 struct BatchOptions {
   int num_threads = 0;   ///< <= 0: hardware concurrency
   bool keep_colors = false;  ///< retain full colorings in the results
   /// Intra-instance execution: with exec.shards > 1, any instance whose edge
   /// count reaches exec.min_sharded_edges is routed to the sharded backend
   /// (src/dist) while the rest of the manifest keeps the serial per-worker
-  /// path.  The batch creates ONE sized shard-worker pool and leases it to
-  /// every sharded solve (exec.shared_pool is set internally; a caller-
-  /// provided pool is honored) — no per-instance thread spawn, no
-  /// oversubscription when several large instances solve concurrently.
-  /// Results are identical either way.
+  /// path.  The service creates ONE sized shard-worker pool and leases it to
+  /// every sharded solve (exec.shared_pool is honored when a caller provides
+  /// its own pool) — no per-instance thread spawn, no oversubscription when
+  /// several large instances solve concurrently.  Results are identical
+  /// either way.
   ExecOptions exec;
 };
 
@@ -49,6 +52,8 @@ struct ScenarioResult {
   std::int64_t raw_rounds = 0;
   std::uint64_t colors_hash = 0;  ///< FNV-1a over the coloring (cross-run check)
   bool valid = false;
+  std::string error;  ///< service outcome detail when the solve did not end Ok
+  double queue_ms = 0.0;  ///< submission -> solve-start wait (batch tail latency)
   double build_ms = 0.0;  ///< instance construction
   double solve_ms = 0.0;  ///< Solver::solve proper
   double edges_per_sec = 0.0;

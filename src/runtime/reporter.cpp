@@ -74,11 +74,13 @@ void BenchReporter::write_json(const BatchReport& report, std::ostream& out) con
     out << "      \"shards\": " << r.shards << ",\n";
     out << "      \"rounds\": " << r.rounds << ",\n";
     out << "      \"raw_rounds\": " << r.raw_rounds << ",\n";
+    out << "      \"queue_ms\": " << fixed(r.queue_ms) << ",\n";
     out << "      \"build_ms\": " << fixed(r.build_ms) << ",\n";
     out << "      \"solve_ms\": " << fixed(r.solve_ms) << ",\n";
     out << "      \"edges_per_sec\": " << fixed(r.edges_per_sec, 1) << ",\n";
     out << "      \"colors_hash\": \"" << std::hex << r.colors_hash << std::dec << "\",\n";
-    out << "      \"valid\": " << (r.valid ? "true" : "false") << "\n";
+    out << "      \"valid\": " << (r.valid ? "true" : "false") << ",\n";
+    out << "      \"error\": \"" << json_escape(r.error) << "\"\n";
     out << "    }" << (i + 1 < report.results.size() ? "," : "") << "\n";
   }
   out << "  ]\n";

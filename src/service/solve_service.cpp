@@ -1,0 +1,400 @@
+#include "src/service/solve_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/coloring/validate.hpp"
+#include "src/common/assert.hpp"
+#include "src/graph/io.hpp"
+#include "src/runtime/batch_solver.hpp"  // hash_coloring
+#include "src/runtime/thread_pool.hpp"
+
+namespace qplec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ExecConfig ---
+
+ExecOptions ExecConfig::exec_options(ThreadPool* lease) const {
+  ExecOptions exec;
+  exec.shards = shards;
+  exec.num_threads = shard_threads;
+  exec.min_sharded_edges = min_sharded_edges;
+  exec.use_neighbor_cache = use_neighbor_cache;
+  exec.shared_pool = lease;
+  return exec;
+}
+
+const char* status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kInvalidInstance:
+      return "invalid_instance";
+    case SolveStatus::kCancelled:
+      return "cancelled";
+    case SolveStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case SolveStatus::kInvariantViolation:
+      return "invariant_violation";
+  }
+  return "unknown";
+}
+
+// ----------------------------------------------------------- SolveRequest ---
+
+SolveRequest SolveRequest::from_instance(ListEdgeColoringInstance instance) {
+  SolveRequest r;
+  r.source_ = Source::kInstance;
+  r.instance_ = std::move(instance);
+  return r;
+}
+
+SolveRequest SolveRequest::from_scenario(const Scenario& scenario) {
+  SolveRequest r;
+  r.source_ = Source::kScenario;
+  r.scenario_ = scenario;
+  r.label_ = scenario.name();
+  return r;
+}
+
+SolveRequest SolveRequest::from_dimacs(std::string path) {
+  SolveRequest r;
+  r.source_ = Source::kDimacs;
+  r.label_ = path;
+  r.path_ = std::move(path);
+  return r;
+}
+
+SolveRequest& SolveRequest::policy(Policy p) {
+  policy_ = std::move(p);
+  return *this;
+}
+
+SolveRequest& SolveRequest::priority(int p) {
+  priority_ = p;
+  return *this;
+}
+
+SolveRequest& SolveRequest::deadline_ms(double ms) {
+  deadline_ms_ = ms;
+  return *this;
+}
+
+SolveRequest& SolveRequest::relaxed(double slack) {
+  slack_ = slack;
+  return *this;
+}
+
+SolveRequest& SolveRequest::discard_colors() {
+  keep_colors_ = false;
+  return *this;
+}
+
+SolveRequest& SolveRequest::on_round(std::function<void(const RoundProgress&)> fn) {
+  on_round_ = std::move(fn);
+  return *this;
+}
+
+SolveRequest& SolveRequest::scramble_ids(std::uint64_t seed) {
+  scramble_ = true;
+  scramble_seed_ = seed;
+  return *this;
+}
+
+SolveRequest& SolveRequest::random_lists(Color palette, std::uint64_t seed) {
+  list_palette_ = palette;
+  list_seed_ = seed;
+  return *this;
+}
+
+SolveRequest& SolveRequest::label(std::string name) {
+  label_ = std::move(name);
+  return *this;
+}
+
+// ------------------------------------------------------------------- Job ---
+
+/// Shared job state: the request while pending, the outcome once done.  The
+/// ticket and the service both hold shared_ptrs, so either side may outlive
+/// the other.
+struct SolveTicket::Job {
+  SolveRequest request;
+  Clock::time_point submit_time;
+  SolveControl control;  ///< cancel flag / deadline / progress hook
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;  ///< a worker claimed it (cancel() then only flags)
+  bool done = false;
+  SolveOutcome outcome;
+};
+
+const SolveOutcome& SolveTicket::wait() const {
+  std::unique_lock<std::mutex> lock(job_->mu);
+  job_->cv.wait(lock, [&] { return job_->done; });
+  return job_->outcome;
+}
+
+const SolveOutcome* SolveTicket::try_get() const {
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->done ? &job_->outcome : nullptr;
+}
+
+SolveOutcome SolveTicket::take() const {
+  std::unique_lock<std::mutex> lock(job_->mu);
+  job_->cv.wait(lock, [&] { return job_->done; });
+  return std::move(job_->outcome);
+}
+
+bool SolveTicket::done() const {
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->done;
+}
+
+void SolveTicket::cancel() const {
+  job_->control.cancel.store(true, std::memory_order_relaxed);
+  // Still queued (no worker claimed it): resolve the ticket right here, so a
+  // wait()-after-cancel never blocks behind unrelated work.  The worker that
+  // eventually pops the stale entry sees done and discards it.
+  std::lock_guard<std::mutex> lock(job_->mu);
+  if (job_->started || job_->done) return;  // running or finished: the flag suffices
+  job_->outcome.status = SolveStatus::kCancelled;
+  job_->outcome.error = "cancelled before start";
+  job_->done = true;
+  job_->cv.notify_all();
+}
+
+// ----------------------------------------------------------- SolveService ---
+
+struct SolveService::Impl {
+  /// Queue order: higher priority first, then submission order (FIFO).
+  struct Entry {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<SolveTicket::Job> job;
+
+    bool operator<(const Entry& other) const {
+      // std::priority_queue pops the LARGEST element.
+      if (priority != other.priority) return priority < other.priority;
+      return seq > other.seq;
+    }
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<Entry> queue;
+  std::uint64_t next_seq = 0;
+  bool shutdown = false;
+
+  std::unique_ptr<ThreadPool> owned_shard_pool;  ///< null: serial or leased
+  ThreadPool* shard_pool = nullptr;              ///< the lease handed to solves
+
+  std::unique_ptr<ThreadPool> workers;  ///< hosts the solve-worker loops
+  std::thread pump;  ///< blocks in workers->run_indexed for the service lifetime
+};
+
+SolveService::SolveService(ExecConfig config)
+    : config_(config), impl_(std::make_unique<Impl>()) {
+  // The shard-worker lease (PR 3 pool-ownership rules): one pool, sized once,
+  // shared by every solve this service routes to the sharded backend.  It
+  // must be a DIFFERENT pool than the solve workers' — a worker fanning a
+  // round out onto its own pool would self-deadlock behind the lease.
+  if (config_.shards > 1) {
+    if (config_.shared_pool != nullptr) {
+      impl_->shard_pool = config_.shared_pool;
+    } else {
+      impl_->owned_shard_pool =
+          std::make_unique<ThreadPool>(config_.exec_options(nullptr).pool_threads());
+      impl_->shard_pool = impl_->owned_shard_pool.get();
+    }
+  }
+
+  impl_->workers = std::make_unique<ThreadPool>(config_.workers);
+  // The solve workers are hosted ON the work-stealing pool: one everlasting
+  // run_indexed batch with exactly one worker-loop task per pool worker.  The
+  // pump thread parks inside run_indexed until shutdown drains the queue.
+  const int n = impl_->workers->num_threads();
+  impl_->pump = std::thread([this, n] {
+    impl_->workers->run_indexed(n, [this](int, int) { worker_loop(); });
+  });
+}
+
+SolveService::~SolveService() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv.notify_all();
+  impl_->pump.join();
+}
+
+int SolveService::workers() const { return impl_->workers->num_threads(); }
+
+SolveTicket SolveService::submit(SolveRequest request) {
+  auto job = std::make_shared<SolveTicket::Job>();
+  job->submit_time = Clock::now();
+  if (request.deadline_ms_ >= 0.0) {
+    job->control.has_deadline = true;
+    job->control.deadline =
+        job->submit_time + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(request.deadline_ms_));
+  }
+  job->control.on_round = std::move(request.on_round_);
+  const int priority = request.priority_;
+  job->request = std::move(request);
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    QPLEC_REQUIRE(!impl_->shutdown);
+    impl_->queue.push(Impl::Entry{priority, impl_->next_seq++, job});
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  impl_->cv.notify_one();
+  return SolveTicket(std::move(job));
+}
+
+SolveOutcome SolveService::solve(SolveRequest request) {
+  return submit(std::move(request)).wait();
+}
+
+void SolveService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<SolveTicket::Job> job;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mu);
+      impl_->cv.wait(lock, [&] { return impl_->shutdown || !impl_->queue.empty(); });
+      if (impl_->queue.empty()) return;  // shutdown and fully drained
+      job = impl_->queue.top().job;
+      impl_->queue.pop();
+    }
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (job->done) {  // resolved while queued (cancel()); discard the stale entry
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      job->started = true;
+    }
+    run_job(*job);
+    completed_.fetch_add(1, std::memory_order_relaxed);  // before done is visible
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->done = true;
+    }
+    job->cv.notify_all();
+  }
+}
+
+void SolveService::run_job(SolveTicket::Job& job) const {
+  const SolveRequest& req = job.request;
+  SolveOutcome& out = job.outcome;
+  out.label = req.label_;
+  out.queue_ms = ms_since(job.submit_time);
+
+  // Cancel-before-start and deadline-expired-in-queue resolve without doing
+  // any work (no instance build, no solver).
+  if (job.control.cancel.load(std::memory_order_relaxed)) {
+    out.status = SolveStatus::kCancelled;
+    out.error = "cancelled before start";
+    return;
+  }
+  if (job.control.has_deadline && Clock::now() >= job.control.deadline) {
+    out.status = SolveStatus::kDeadlineExceeded;
+    out.error = "deadline expired while queued";
+    return;
+  }
+
+  // Build the instance from whichever source the request named.  Malformed
+  // input of any kind is an InvalidInstance outcome, never a throw.
+  ListEdgeColoringInstance instance;
+  const auto build_start = Clock::now();
+  try {
+    switch (req.source_) {
+      case SolveRequest::Source::kInstance:
+        instance = std::move(job.request.instance_);
+        break;
+      case SolveRequest::Source::kScenario:
+        instance = build_instance(req.scenario_);
+        break;
+      case SolveRequest::Source::kDimacs: {
+        std::ifstream in(req.path_);
+        if (!in) throw std::invalid_argument("cannot open " + req.path_);
+        Graph g = read_edge_list(in);
+        if (req.scramble_) {
+          const auto n = static_cast<std::uint64_t>(g.num_nodes());
+          g = g.with_scrambled_ids(std::max<std::uint64_t>(1, n * std::max<std::uint64_t>(1, n)),
+                                   req.scramble_seed_);
+        }
+        instance = req.list_palette_ > 0
+                       ? make_random_list_instance(std::move(g), req.list_palette_, req.list_seed_)
+                       : make_two_delta_instance(std::move(g));
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.status = SolveStatus::kInvalidInstance;
+    out.error = e.what();
+    return;
+  }
+  out.build_ms = ms_since(build_start);
+  out.num_nodes = instance.graph.num_nodes();
+  out.num_edges = instance.graph.num_edges();
+  out.max_degree = instance.graph.max_degree();
+  out.max_edge_degree = instance.graph.max_edge_degree();
+  out.palette_size = instance.palette_size;
+
+  const ExecOptions exec = config_.exec_options(impl_->shard_pool);
+  out.shards = exec.effective_shards(out.num_edges);
+  const Policy policy = req.source_ == SolveRequest::Source::kScenario
+                            ? make_policy(req.scenario_.policy)
+                            : req.policy_;
+  const Solver solver(policy, exec);
+
+  const auto solve_start = Clock::now();
+  try {
+    SolveResult res = req.slack_ > 1.0
+                          ? solver.solve_relaxed(instance, req.slack_, &job.control)
+                          : solver.solve(instance, &job.control);
+    out.solve_ms = ms_since(solve_start);
+    out.colors_hash = hash_coloring(res.colors);
+    out.valid = is_valid_list_coloring(instance, res.colors);
+    if (!req.keep_colors_) {
+      res.colors.clear();
+      res.colors.shrink_to_fit();
+    }
+    out.result = std::move(res);
+    out.status = SolveStatus::kOk;
+  } catch (const SolveInterrupted& e) {
+    out.solve_ms = ms_since(solve_start);
+    out.status = e.reason() == SolveInterrupted::Reason::kCancelled
+                     ? SolveStatus::kCancelled
+                     : SolveStatus::kDeadlineExceeded;
+    out.error = e.what();
+  } catch (const std::invalid_argument& e) {
+    out.solve_ms = ms_since(solve_start);
+    out.status = SolveStatus::kInvalidInstance;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.solve_ms = ms_since(solve_start);
+    out.status = SolveStatus::kInvariantViolation;
+    out.error = e.what();
+  }
+}
+
+}  // namespace qplec

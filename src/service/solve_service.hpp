@@ -1,0 +1,253 @@
+// SolveService — the single versioned front door of qplec.
+//
+// Every way of running the paper's solver (one instance, a scenario sweep, a
+// file from disk; serial or sharded; blocking or not) goes through one API:
+//
+//   SolveService service(ExecConfig{.workers = 4, .shards = 4});
+//   SolveTicket t = service.submit(
+//       SolveRequest::from_scenario(s).priority(2).deadline_ms(5000));
+//   ...
+//   const SolveOutcome& out = t.wait();   // never throws
+//   if (out.ok()) use(out.result);
+//
+// Design points:
+//   * ONE priority queue, drained by a fixed set of solve workers hosted on
+//     the existing work-stealing ThreadPool (the pool schedules the workers,
+//     the queue schedules the jobs: highest priority first, FIFO within a
+//     priority).  Submission never blocks on solving.
+//   * ONE shared shard-worker pool (the PR 3 lease rules): every job routed
+//     to the sharded backend leases the same pool via
+//     ExecOptions::shared_pool, so concurrent big instances serialize their
+//     round fan-outs instead of oversubscribing the machine.
+//   * The API boundary never throws: every failure mode — malformed input,
+//     cancellation, a missed deadline, a violated paper invariant — lands in
+//     SolveOutcome::status with the error detail preserved.
+//   * Cancellation and deadlines act at round boundaries only (SolveControl,
+//     src/common/control.hpp).  A solve that completes is bit-identical to
+//     Solver::solve — same colors, rounds and ledger — regardless of worker
+//     count, shard count, or how often someone tried to cancel it.
+//
+// BatchSolver (src/runtime) is a thin adapter over this class: submit-all +
+// ordered wait, preserving its BatchReport shape and determinism guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/control.hpp"
+#include "src/core/solver.hpp"
+#include "src/runtime/scenarios.hpp"
+
+namespace qplec {
+
+class ThreadPool;
+
+/// The one consolidated execution configuration (subsumes the old
+/// BatchOptions/ExecOptions split at the API boundary): how many solve
+/// workers drain the queue, and how big instances are sharded.
+struct ExecConfig {
+  /// Solve workers draining the submission queue; <= 0 picks the hardware
+  /// concurrency (at least 1).  Results never depend on this.
+  int workers = 0;
+  /// Intra-instance shards for big instances; <= 1 keeps every solve serial.
+  int shards = 1;
+  /// Threads backing the shared shard-worker pool; <= 0 picks
+  /// min(shards, hardware concurrency).
+  int shard_threads = 0;
+  /// Instances with fewer edges stay on the serial path even when shards > 1.
+  int min_sharded_edges = 20000;
+  /// Maintain the incremental NeighborColorCache (bit-identical either way).
+  bool use_neighbor_cache = true;
+  /// Caller-owned shard-worker pool to lease instead of the service creating
+  /// one (must outlive the service).  Null: the service sizes its own when
+  /// shards > 1.
+  ThreadPool* shared_pool = nullptr;
+
+  /// Lowers this config to the engine-level ExecOptions carried by a Solver.
+  /// `lease` is the shard pool every sharded solve of this service shares.
+  ExecOptions exec_options(ThreadPool* lease) const;
+};
+
+/// Terminal state of a submitted solve.  The service maps every exception of
+/// the underlying stack to one of these; SolveService itself never throws
+/// across the submit/wait boundary.
+enum class SolveStatus {
+  kOk,                  ///< solved; SolveOutcome::result is valid
+  kInvalidInstance,     ///< malformed input (bad file, infeasible lists, ...)
+  kCancelled,           ///< cancel() won the race; stopped at a round boundary
+  kDeadlineExceeded,    ///< deadline passed before the solve finished
+  kInvariantViolation,  ///< a paper invariant failed mid-solve (a qplec bug)
+};
+
+const char* status_name(SolveStatus status);
+
+/// Everything the service reports about one finished job.  `result` is
+/// meaningful only when status == kOk (colors may have been discarded when
+/// the request asked for that; `colors_hash` is always taken first).
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::kInvalidInstance;
+  SolveResult result;
+  std::string error;  ///< human-readable detail for every non-Ok status
+  std::string label;  ///< echo of SolveRequest::label
+
+  // Instance metadata (filled once the instance was built).
+  int num_nodes = 0;
+  int num_edges = 0;
+  int max_degree = 0;       ///< Delta
+  int max_edge_degree = 0;  ///< Delta-bar
+  Color palette_size = 0;
+  int shards = 1;  ///< intra-instance shards the solve actually used
+
+  std::uint64_t colors_hash = 0;  ///< FNV-1a coloring fingerprint (Ok only)
+  bool valid = false;  ///< independent re-validation of the output (Ok only)
+
+  double queue_ms = 0.0;  ///< submission -> start wait
+  double build_ms = 0.0;  ///< instance construction (scenario/file sources)
+  double solve_ms = 0.0;  ///< the solve proper
+
+  bool ok() const { return status == SolveStatus::kOk; }
+};
+
+/// Declarative description of one solve: an instance source plus scheduling
+/// and execution knobs.  Chainable builder; consumed by SolveService::submit.
+class SolveRequest {
+ public:
+  /// Default: an empty instance source (solves to an empty coloring).  Use
+  /// the named factories below for anything real.
+  SolveRequest() = default;
+
+  /// A prebuilt instance (moved in — instances can be large).
+  static SolveRequest from_instance(ListEdgeColoringInstance instance);
+  /// A scenario (built on the worker via build_instance, bit-reproducible
+  /// from its fields; the scenario's policy kind is used).
+  static SolveRequest from_scenario(const Scenario& scenario);
+  /// An edge-list / DIMACS file, read and built on the worker.  Unreadable
+  /// or malformed files surface as status kInvalidInstance, not a throw.
+  static SolveRequest from_dimacs(std::string path);
+
+  /// Parameter policy (instance/file sources only; scenario sources carry
+  /// their own policy kind).  Default: Policy::practical().
+  SolveRequest& policy(Policy p);
+  /// Scheduling priority: higher runs sooner; FIFO within a priority.
+  SolveRequest& priority(int p);
+  /// Wall-clock budget from submission (queue wait included).  Exceeding it
+  /// stops the solve at the next round boundary with kDeadlineExceeded.
+  SolveRequest& deadline_ms(double ms);
+  /// Solve the relaxed problem P(dbar, slack, C) instead (Lemma 4.5).
+  SolveRequest& relaxed(double slack);
+  /// Drop the full coloring from the outcome (hash and validity are still
+  /// computed first) — what a sweep that only fingerprints results wants.
+  SolveRequest& discard_colors();
+  /// Progress callback, invoked between rounds on the solving thread.
+  SolveRequest& on_round(std::function<void(const RoundProgress&)> fn);
+  /// Scramble node ids before building (file sources; models the LOCAL
+  /// model's adversarial id assignment exactly like cli_solve does).
+  SolveRequest& scramble_ids(std::uint64_t seed);
+  /// Random (deg+1)-lists from [0, palette) instead of the uniform
+  /// (2*Delta-1) palette (file sources).
+  SolveRequest& random_lists(Color palette, std::uint64_t seed);
+  /// Free-form label echoed into the outcome (reports, logs).
+  SolveRequest& label(std::string name);
+
+ private:
+  friend class SolveService;
+
+  enum class Source { kInstance, kScenario, kDimacs };
+
+  Source source_ = Source::kInstance;
+  ListEdgeColoringInstance instance_;
+  Scenario scenario_;
+  std::string path_;
+
+  Policy policy_ = Policy::practical();
+  int priority_ = 0;
+  double deadline_ms_ = -1.0;  ///< < 0: none
+  double slack_ = 1.0;         ///< > 1: relaxed solve
+  bool keep_colors_ = true;
+  bool scramble_ = false;
+  std::uint64_t scramble_seed_ = 0;
+  Color list_palette_ = 0;  ///< > 0: random lists for file sources
+  std::uint64_t list_seed_ = 0;
+  std::string label_;
+  std::function<void(const RoundProgress&)> on_round_;
+};
+
+/// Handle to one submitted solve.  Cheap to copy (shared state); safe to
+/// destroy without waiting (the job still runs and is drained at service
+/// shutdown).
+class SolveTicket {
+ public:
+  /// Blocks until the job finished (or resolved as cancelled/failed) and
+  /// returns its outcome.  Never throws; idempotent.
+  const SolveOutcome& wait() const;
+
+  /// Non-blocking probe: the outcome if finished, nullptr otherwise.
+  const SolveOutcome* try_get() const;
+
+  /// Single-consumer variant of wait(): blocks, then MOVES the outcome out
+  /// (a later wait()/try_get() sees a moved-from outcome).  For adapters
+  /// folding many large outcomes into their own report — a big coloring
+  /// changes hands instead of living twice until the service winds down.
+  SolveOutcome take() const;
+
+  /// True once the outcome is available.
+  bool done() const;
+
+  /// Requests cancellation.  Before a worker claims the job: it resolves
+  /// kCancelled immediately, right here — no work is ever done for it and a
+  /// subsequent wait() returns at once instead of queueing behind unrelated
+  /// solves.  Mid-solve: the engine stops at the next round boundary
+  /// (kCancelled).  After completion: a no-op — the outcome stays exactly
+  /// what it was (bit-identical to an uncancelled solve).
+  void cancel() const;
+
+ private:
+  friend class SolveService;
+  struct Job;
+  explicit SolveTicket(std::shared_ptr<Job> job) : job_(std::move(job)) {}
+
+  std::shared_ptr<Job> job_;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ExecConfig config = {});
+
+  /// Drains: every accepted job still runs (cancel tickets first for fast
+  /// shutdown), then the workers and the shard pool wind down.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  int workers() const;
+  const ExecConfig& config() const { return config_; }
+
+  /// Enqueues the request and returns immediately.
+  SolveTicket submit(SolveRequest request);
+
+  /// Convenience: submit + wait.  Must not be called from a progress
+  /// callback or any other code already running on a service worker (the
+  /// wait would occupy the worker the job may need).
+  SolveOutcome solve(SolveRequest request);
+
+  // Lifetime counters (monotone; for reports and tests).
+  std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Impl;
+
+  void worker_loop();
+  void run_job(SolveTicket::Job& job) const;
+
+  ExecConfig config_;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace qplec

@@ -51,6 +51,8 @@ TEST(BatchSolver, EveryColoringValidates) {
     EXPECT_EQ(hash_coloring(r.colors), r.colors_hash);
     EXPECT_EQ(r.num_edges, instance.graph.num_edges());
     EXPECT_GE(r.rounds, 1);
+    // The service adapter reports the submission->start wait per scenario.
+    EXPECT_GE(r.queue_ms, 0.0);
   }
 }
 

@@ -25,6 +25,7 @@
 #include "src/graph/subset.hpp"
 #include "src/runtime/batch_solver.hpp"
 #include "src/runtime/scenarios.hpp"
+#include "src/service/solve_service.hpp"
 
 namespace qplec {
 namespace {
@@ -276,6 +277,54 @@ TEST(PropertyFuzz, BatchedGreedySweepMatchesPerClassReference) {
     EXPECT_EQ(batched, reference) << "seed " << seed;
     EXPECT_TRUE(is_proper_on_conflict(view, batched, serial_backend())) << "seed " << seed;
   }
+}
+
+// The same random family x size x seed sweep submitted through the
+// SolveService front door: every async, priority-queued, cancellable-path
+// outcome must be bit-identical to the direct Solver::solve of the same
+// scenario (and hash-stable under concurrent workers).
+TEST(PropertyFuzz, ServiceSubmissionMatchesDirectSolveAcrossRandomSweep) {
+  struct Case {
+    GraphFamily family;
+    int size;
+    int aux;
+  };
+  const Case cases[] = {
+      {GraphFamily::kGnp, 30, 0},     {GraphFamily::kRegular, 48, 4},
+      {GraphFamily::kPowerLaw, 60, 10}, {GraphFamily::kTree, 50, 0},
+      {GraphFamily::kTorus, 5, 0},
+  };
+  const ListFlavor flavors[] = {ListFlavor::kTwoDelta, ListFlavor::kRandomDegPlusOne};
+
+  SolveService service(ExecConfig{.workers = 4});
+  std::vector<Scenario> scenarios;
+  std::vector<SolveTicket> tickets;
+  for (const Case& c : cases) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Scenario scenario{c.family, c.size, flavors[seed % 2],
+                              PolicyKind::kPractical, seed, c.aux};
+      scenarios.push_back(scenario);
+      tickets.push_back(service.submit(
+          SolveRequest::from_scenario(scenario).priority(static_cast<int>(seed))));
+    }
+  }
+
+  int swept = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const SolveOutcome& out = tickets[i].wait();
+    ASSERT_EQ(out.status, SolveStatus::kOk) << scenarios[i].name() << ": " << out.error;
+    const ListEdgeColoringInstance instance = build_instance(scenarios[i]);
+    if (instance.graph.num_edges() == 0) continue;
+    ++swept;
+    const SolveResult direct = Solver(Policy::practical()).solve(instance);
+    EXPECT_EQ(out.colors_hash, hash_coloring(direct.colors)) << scenarios[i].name();
+    EXPECT_EQ(out.result.colors, direct.colors) << scenarios[i].name();
+    EXPECT_EQ(out.result.rounds, direct.rounds) << scenarios[i].name();
+    EXPECT_EQ(out.result.raw_rounds, direct.raw_rounds) << scenarios[i].name();
+    EXPECT_TRUE(out.valid) << scenarios[i].name();
+    EXPECT_TRUE(is_valid_list_coloring(instance, out.result.colors)) << scenarios[i].name();
+  }
+  EXPECT_GE(swept, 12);  // the sweep must not silently degenerate
 }
 
 }  // namespace
