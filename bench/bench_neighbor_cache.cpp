@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
     s.delta = w.graph.max_degree();
     s.shards = shards;
     for (const bool cached : {true, false}) {
-      ExecOptions exec;
+      ExecConfig exec;
       exec.shards = shards;
       exec.min_sharded_edges = 0;
       exec.shared_pool = shards > 1 ? &shard_pool : nullptr;

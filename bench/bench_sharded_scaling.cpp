@@ -168,7 +168,7 @@ int main(int argc, char** argv) {
     double reference_ms = 0.0;
     bool have_reference = false;
     for (const int shards : shard_counts) {
-      ExecOptions exec;
+      ExecConfig exec;
       exec.shards = shards;
       exec.min_sharded_edges = 0;
       exec.shared_pool = &shard_pool;

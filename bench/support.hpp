@@ -130,9 +130,9 @@ inline void banner(const char* experiment, const char* claim) {
 /// consumes.  threads <= 0 uses the hardware concurrency.
 inline BatchReport run_batch(const char* name, const std::vector<Scenario>& manifest,
                              int threads = 0) {
-  BatchOptions options;
-  options.num_threads = threads;
-  const BatchReport report = BatchSolver(options).run(manifest);
+  ExecConfig config;
+  config.workers = threads;
+  const BatchReport report = BatchSolver(config).run(manifest);
   BenchReporter reporter;
   reporter.set("bench", name).set("algorithm", "bko_podc2020");
   const std::string path = std::string("BENCH_") + name + ".json";

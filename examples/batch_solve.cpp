@@ -2,7 +2,8 @@
 //
 //   usage: batch_solve [--threads N] [--manifest file] [--out BENCH_batch.json]
 //                      [--seed N] [--quiet] [--shards N] [--sharded-min-edges M]
-//                      [--no-neighbor-cache] [--stressors]
+//                      [--no-neighbor-cache] [--no-fuse-supersteps]
+//                      [--validation-tier off|sampled|every_round] [--stressors]
 //
 // Without --manifest, runs the default sweep (every solver-test scenario
 // plus larger regulars — see default_manifest).  Prints a per-scenario table
@@ -17,7 +18,10 @@
 // once inside BatchSolver), so --shards never multiplies thread counts.
 // --no-neighbor-cache disables the incremental neighbor-color cache on every
 // solve (the full-rescan reference path; identical output) — CI diffs the
-// two reports to prove it.  --stressors appends large-instance stressor
+// two reports to prove it.  --no-fuse-supersteps runs the split round-loop
+// schedule and --validation-tier sets the demoted-walk cadence; both leave
+// every fingerprint identical (the CI golden gate runs a fused-vs-unfused
+// leg against the same golden file).  --stressors appends large-instance stressor
 // scenarios sized by the shared bench/support.hpp constants (the same
 // 204800-edge regular + power-law parameters every scaling bench sweeps) to
 // the manifest.  NOTE: scenarios go through build_instance — scrambled
@@ -46,7 +50,8 @@ int usage() {
                "usage: batch_solve [--threads N] [--manifest file] "
                "[--out BENCH_batch.json] [--seed N] [--quiet] "
                "[--shards N] [--sharded-min-edges M] [--no-neighbor-cache] "
-               "[--stressors]\n");
+               "[--no-fuse-supersteps] "
+               "[--validation-tier off|sampled|every_round] [--stressors]\n");
   return 2;
 }
 
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_batch.json";
   std::uint64_t seed = 42;
   bool neighbor_cache = true;
+  bool fuse_supersteps = true;
+  ValidationTier validation_tier = default_validation_tier();
   bool stressors = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +101,19 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--no-neighbor-cache") {
       neighbor_cache = false;
+    } else if (arg == "--no-fuse-supersteps") {
+      fuse_supersteps = false;
+    } else if (arg == "--validation-tier" && i + 1 < argc) {
+      const std::string tier = argv[++i];
+      if (tier == "off") {
+        validation_tier = ValidationTier::kOff;
+      } else if (tier == "sampled") {
+        validation_tier = ValidationTier::kSampled;
+      } else if (tier == "every_round") {
+        validation_tier = ValidationTier::kEveryRound;
+      } else {
+        return usage();
+      }
     } else if (arg == "--stressors") {
       stressors = true;
     } else if (arg == "--quiet") {
@@ -127,12 +147,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  BatchOptions options;
-  options.num_threads = threads;
-  options.exec.shards = shards;
-  options.exec.use_neighbor_cache = neighbor_cache;
-  if (sharded_min_edges >= 0) options.exec.min_sharded_edges = sharded_min_edges;
-  const BatchSolver batch(options);
+  ExecConfig config;
+  config.workers = threads;
+  config.shards = shards;
+  config.use_neighbor_cache = neighbor_cache;
+  config.fuse_supersteps = fuse_supersteps;
+  config.validation_tier = validation_tier;
+  if (sharded_min_edges >= 0) config.min_sharded_edges = sharded_min_edges;
+  const BatchSolver batch(config);
 
   BatchReport report;
   try {

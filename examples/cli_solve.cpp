@@ -2,8 +2,10 @@
 //
 //   usage: cli_solve [--algorithm bko|greedy|kw|luby|central] [--seed N]
 //                    [--list-palette C] [--shards N] [--threads N]
-//                    [--no-neighbor-cache] [--deadline-ms X] [--json]
-//                    [--serial-compat] [--verbose] [graph.txt]
+//                    [--no-neighbor-cache] [--no-fuse-supersteps]
+//                    [--validation-tier off|sampled|every_round]
+//                    [--deadline-ms X] [--json] [--serial-compat]
+//                    [--verbose] [graph.txt]
 //
 // Input format (stdin if no file): "n m" header plus "u v" lines, or DIMACS
 // "p edge" / "e u v"; '#' and 'c' comments are skipped.
@@ -22,8 +24,12 @@
 // the service reads, scrambles and builds the instance end-to-end.
 // --serial-compat bypasses the service and calls Solver::solve directly (the
 // reference path; bit-identical output).  --no-neighbor-cache disables the
-// incremental neighbor-color cache (identical output).  --verbose adds wall
-// time, per-round wall time and the ledger's phase breakdown.
+// incremental neighbor-color cache, --no-fuse-supersteps runs the split
+// round-loop schedule, --validation-tier sets the cadence of the demoted
+// invariant walks (all three leave the output bit-identical — they are the
+// ExecConfig knobs of src/common/exec_config.hpp).  --json embeds the full
+// SolverStats, RoundProfile included, as a "stats" sub-object.  --verbose
+// adds wall time, per-round wall time and the ledger's phase breakdown.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +43,7 @@
 #include "src/core/solver.hpp"
 #include "src/graph/io.hpp"
 #include "src/runtime/batch_solver.hpp"
+#include "src/runtime/reporter.hpp"
 #include "src/service/solve_service.hpp"
 
 namespace {
@@ -45,8 +52,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: cli_solve [--algorithm bko|greedy|kw|luby|central] "
                "[--seed N] [--list-palette C] [--shards N] [--threads N] "
-               "[--no-neighbor-cache] [--deadline-ms X] [--json] "
-               "[--serial-compat] [--verbose] [graph.txt]\n");
+               "[--no-neighbor-cache] [--no-fuse-supersteps] "
+               "[--validation-tier off|sampled|every_round] [--deadline-ms X] "
+               "[--json] [--serial-compat] [--verbose] [graph.txt]\n");
   return 2;
 }
 
@@ -104,6 +112,7 @@ void print_json(const qplec::SolveOutcome& out, const std::string& algorithm,
   std::printf("  \"build_ms\": %.3f,\n", out.build_ms);
   std::printf("  \"solve_ms\": %.3f,\n", out.solve_ms);
   std::printf("  \"wall_ms\": %.3f,\n", wall_ms);
+  std::printf("  \"stats\": %s,\n", qplec::solver_stats_json(out.result.stats, 2).c_str());
   std::printf("  \"colors_hash\": \"%llx\",\n",
               static_cast<unsigned long long>(out.colors_hash));
   std::printf("  \"valid\": %s,\n", out.valid ? "true" : "false");
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
   int threads = 0;
   double deadline_ms = -1.0;
   bool neighbor_cache = true;
+  bool fuse_supersteps = true;
+  ValidationTier validation_tier = default_validation_tier();
   bool json = false;
   bool serial_compat = false;
   bool verbose = false;
@@ -143,6 +154,19 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--no-neighbor-cache") {
       neighbor_cache = false;
+    } else if (arg == "--no-fuse-supersteps") {
+      fuse_supersteps = false;
+    } else if (arg == "--validation-tier" && i + 1 < argc) {
+      const std::string tier = argv[++i];
+      if (tier == "off") {
+        validation_tier = ValidationTier::kOff;
+      } else if (tier == "sampled") {
+        validation_tier = ValidationTier::kSampled;
+      } else if (tier == "every_round") {
+        validation_tier = ValidationTier::kEveryRound;
+      } else {
+        return usage();
+      }
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--serial-compat") {
@@ -163,6 +187,8 @@ int main(int argc, char** argv) {
   config.shards = shards;
   config.shard_threads = threads;
   config.use_neighbor_cache = neighbor_cache;
+  config.fuse_supersteps = fuse_supersteps;
+  config.validation_tier = validation_tier;
   if (shards > 1) config.min_sharded_edges = 0;  // --shards means shard it
 
   const bool service_file_source =
@@ -247,7 +273,7 @@ int main(int argc, char** argv) {
     } else if (algorithm == "bko") {
       // --serial-compat: the direct, throwing Solver path (the reference the
       // service's differential tests pin against).
-      const auto res = Solver(Policy::practical(), config.exec_options(nullptr)).solve(instance);
+      const auto res = Solver(Policy::practical(), config).solve(instance);
       out.result = res;
       out.colors_hash = hash_coloring(res.colors);
       out.valid = is_valid_list_coloring(instance, res.colors);

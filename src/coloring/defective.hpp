@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/exec_config.hpp"
 #include "src/dist/backend.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/subset.hpp"
@@ -38,9 +39,13 @@ struct DefectiveColoring {
 /// numbering, same-group conflict detection) and per-edge passes run on
 /// `exec` (null = serial backend; on a sharded backend g must be the sharded
 /// graph) with bit-identical results for any lane count.
+/// `gate` (optional) tiers the standalone assert sweeps (paths/cycles degree
+/// bound, final defect bound) — the output never depends on them; null
+/// keeps the seed's always-validate behavior.
 DefectiveColoring defective_edge_coloring(const Graph& g, const EdgeSubset& H, int beta,
                                           const std::vector<std::uint64_t>& phi,
                                           std::uint64_t phi_palette, RoundLedger& ledger,
-                                          const ExecBackend* exec = nullptr);
+                                          const ExecBackend* exec = nullptr,
+                                          ValidationGate* gate = nullptr);
 
 }  // namespace qplec

@@ -10,25 +10,37 @@ namespace qplec {
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
                        std::vector<Color>& out, RoundLedger& ledger,
-                       const ExecBackend* exec, const SolveControl* control) {
+                       const ExecBackend* exec, const SolveControl* control,
+                       ValidationGate* gate) {
   const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   QPLEC_REQUIRE(out.size() == static_cast<std::size_t>(view.num_items()));
   QPLEC_REQUIRE(lists.size() == static_cast<std::size_t>(view.num_items()));
-  QPLEC_ASSERT_MSG(is_proper_on_conflict(view, phi, ex), "greedy sweep needs a proper phi");
+  // Gate draws happen here on the coordinating thread — never inside a
+  // backend pass — so for a fixed tier the same checks run regardless of
+  // the lane layout.
+  if (gate == nullptr || gate->due()) {
+    QPLEC_ASSERT_MSG(is_proper_on_conflict(view, phi, ex),
+                     "greedy sweep needs a proper phi");
+  }
+  const bool check_feasibility = gate == nullptr || gate->due();
 
   // Bucket active items by class; iterate classes in increasing order.  Only
   // non-empty classes cost simulation work; the LOCAL round cost of the sweep
   // is the full palette (the synchronous schedule has one slot per class) and
-  // is charged as such.  The gather runs per lane (feasibility checks
-  // included); lanes concatenated in lane order visit items in ascending id
-  // order, and the sort canonicalizes the class order either way.
+  // is charged as such.  The gather runs per lane (the gated feasibility
+  // re-derivation included — view.degree(i) is an O(deg) walk the sweep
+  // itself never needs); lanes concatenated in lane order visit items in
+  // ascending id order, and the sort canonicalizes the class order either
+  // way.
   LaneScratch<std::vector<std::pair<std::uint64_t, int>>> gather(ex.lanes());
   ex.for_indices(view.num_items(), [&](int lane, int i) {
     if (!view.active(i)) return;
-    QPLEC_REQUIRE_MSG(lists[static_cast<std::size_t>(i)].size() >= view.degree(i) + 1,
-                      "greedy feasibility violated at item "
-                          << i << ": list " << lists[static_cast<std::size_t>(i)].size()
-                          << " < deg+1 = " << view.degree(i) + 1);
+    if (check_feasibility) {
+      QPLEC_REQUIRE_MSG(lists[static_cast<std::size_t>(i)].size() >= view.degree(i) + 1,
+                        "greedy feasibility violated at item "
+                            << i << ": list " << lists[static_cast<std::size_t>(i)].size()
+                            << " < deg+1 = " << view.degree(i) + 1);
+    }
     QPLEC_REQUIRE_MSG(out[static_cast<std::size_t>(i)] == kUncolored,
                       "greedy sweep requires active items uncolored at entry (item " << i
                                                                                     << ")");
@@ -145,12 +157,13 @@ ConflictSolveResult solve_conflict_list(const ConflictView& view,
                                         const std::vector<std::uint64_t>& phi0,
                                         std::uint64_t palette0, int degree_bound,
                                         std::vector<Color>& out, RoundLedger& ledger,
-                                        const ExecBackend* exec, const SolveControl* control) {
+                                        const ExecBackend* exec, const SolveControl* control,
+                                        ValidationGate* gate) {
   ConflictSolveResult res;
-  LinialResult lin = linial_reduce(view, phi0, palette0, degree_bound, ledger, exec);
+  LinialResult lin = linial_reduce(view, phi0, palette0, degree_bound, ledger, exec, gate);
   res.linial_rounds = lin.rounds;
   res.sweep_palette = lin.palette;
-  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger, exec, control);
+  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger, exec, control, gate);
   return res;
 }
 

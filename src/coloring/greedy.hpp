@@ -17,6 +17,7 @@
 #include "src/coloring/palette.hpp"
 #include "src/coloring/problem.hpp"
 #include "src/common/control.hpp"
+#include "src/common/exec_config.hpp"
 #include "src/dist/backend.hpp"
 #include "src/local/ledger.hpp"
 
@@ -53,11 +54,18 @@ inline constexpr int kGreedyBatchQuantum = 128;
 /// `control` (optional) is polled between class rounds: the sweep is the
 /// charge-dominant stretch of every base case, so cancellation latency is
 /// bounded by one class region, not the whole O(d^2)-round sweep.
+///
+/// `gate` (optional) tiers the demotable validation work — the entry
+/// properness walk of phi and the O(deg)-per-item feasibility re-derivation
+/// in the gather pass; null keeps the seed's always-validate behavior.
+/// Gated checks feed nothing the sweep computes, so the output is identical
+/// at any tier.
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
                        std::vector<Color>& out, RoundLedger& ledger,
                        const ExecBackend* exec = nullptr,
-                       const SolveControl* control = nullptr);
+                       const SolveControl* control = nullptr,
+                       ValidationGate* gate = nullptr);
 
 struct ConflictSolveResult {
   int linial_rounds = 0;
@@ -68,13 +76,15 @@ struct ConflictSolveResult {
 /// initial proper coloring (phi0, palette0) to an O(d^2) palette, then sweep.
 /// Writes into out[item] for active items.  Both stages run their per-item
 /// passes on `exec` (null = serial backend) with bit-identical results.
+/// `gate` tiers both stages' demoted validation walks (see greedy_by_classes).
 ConflictSolveResult solve_conflict_list(const ConflictView& view,
                                         const std::vector<ColorList>& lists,
                                         const std::vector<std::uint64_t>& phi0,
                                         std::uint64_t palette0, int degree_bound,
                                         std::vector<Color>& out, RoundLedger& ledger,
                                         const ExecBackend* exec = nullptr,
-                                        const SolveControl* control = nullptr);
+                                        const SolveControl* control = nullptr,
+                                        ValidationGate* gate = nullptr);
 
 /// Centralized sequential greedy (not a distributed algorithm): colors edges
 /// in id order with the smallest available list color.  Ground truth that a

@@ -100,7 +100,7 @@ std::vector<std::uint64_t> linial_step(const ConflictView& view,
 
 LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> colors,
                            std::uint64_t palette, int degree_bound, RoundLedger& ledger,
-                           const ExecBackend* exec) {
+                           const ExecBackend* exec, ValidationGate* gate) {
   const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   QPLEC_REQUIRE(colors.size() == static_cast<std::size_t>(view.num_items()));
   LinialResult out;
@@ -118,7 +118,12 @@ LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> 
     ++out.rounds;
     ledger.charge(1, "linial");
   }
-  QPLEC_ASSERT(is_proper_on_conflict(view, out.colors, ex));
+  // Demoted exit walk: each linial_step already asserts proper inputs
+  // neighbor-by-neighbor inside the pass, so the standalone re-walk of the
+  // final coloring is tierable.
+  if (gate == nullptr || gate->due()) {
+    QPLEC_ASSERT(is_proper_on_conflict(view, out.colors, ex));
+  }
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/coloring/conflict.hpp"
+#include "src/common/exec_config.hpp"
 #include "src/dist/backend.hpp"
 #include "src/local/ledger.hpp"
 
@@ -46,9 +47,12 @@ struct LinialResult {
 /// The per-item passes run on `exec` (null = the serial backend): every step
 /// writes only its own item's slot and reads the previous round's committed
 /// colors, so results are bit-identical for any backend and lane count.
+/// `gate` (optional) tiers the final standalone properness walk; the inline
+/// per-neighbor input asserts of each step always run.
 LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> colors,
                            std::uint64_t palette, int degree_bound, RoundLedger& ledger,
-                           const ExecBackend* exec = nullptr);
+                           const ExecBackend* exec = nullptr,
+                           ValidationGate* gate = nullptr);
 
 /// One reduction step with explicit parameters (exposed for tests).
 std::vector<std::uint64_t> linial_step(const ConflictView& view,

@@ -14,6 +14,7 @@
 
 #include "src/coloring/conflict.hpp"
 #include "src/coloring/palette.hpp"
+#include "src/common/exec_config.hpp"
 #include "src/dist/backend.hpp"
 #include "src/local/ledger.hpp"
 
@@ -28,9 +29,12 @@ struct ThreeColorResult {
 /// phi/palette: a proper initial coloring of the active items.  The inner
 /// Linial reduction and class sweep run their per-item passes on `exec`
 /// (null = serial backend) with bit-identical results.
+/// `gate` (optional) tiers the entry degree sweep and the final properness
+/// walk; null keeps the seed's always-validate behavior.
 ThreeColorResult three_color_paths_cycles(const ConflictView& view,
                                           const std::vector<std::uint64_t>& phi,
                                           std::uint64_t palette, RoundLedger& ledger,
-                                          const ExecBackend* exec = nullptr);
+                                          const ExecBackend* exec = nullptr,
+                                          ValidationGate* gate = nullptr);
 
 }  // namespace qplec

@@ -16,7 +16,7 @@ namespace qplec {
 SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                            std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                            const Policy& policy, RoundLedger& ledger, SolverStats& stats,
-                           int depth, const ExecBackend* exec, bool use_neighbor_cache,
+                           int depth, const ExecBackend* exec, const ExecConfig& config,
                            const SolveControl* control)
     : g_(g),
       work_(std::move(lists)),
@@ -28,17 +28,28 @@ SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color p
       stats_(stats),
       base_depth_(depth),
       exec_(exec != nullptr ? exec : &serial_backend()),
-      use_neighbor_cache_(use_neighbor_cache),
+      config_(config),
+      gate_(config.make_validation_gate()),
       control_(control),
       final_(static_cast<std::size_t>(g.num_edges()), kUncolored) {
   QPLEC_REQUIRE(work_.size() == static_cast<std::size_t>(g.num_edges()));
   QPLEC_REQUIRE(phi_.size() == static_cast<std::size_t>(g.num_edges()));
   // Hub-heavy graphs fail NeighborColorCache::fits (the rows would dwarf
   // the graph); they silently run the bit-identical full-rescan path.
-  if (use_neighbor_cache_ && g_.num_edges() > 0 && NeighborColorCache::fits(g_)) {
+  if (config_.use_neighbor_cache && g_.num_edges() > 0 && NeighborColorCache::fits(g_)) {
     cache_ = std::make_unique<NeighborColorCache>(g_, final_, *exec_);
   }
   note_depth(depth);
+}
+
+bool SolverEngine::validation_due() {
+  const bool due = gate_.due();
+  if (due) {
+    ++stats_.profile.validation_walks_run;
+  } else {
+    ++stats_.profile.validation_walks_skipped;
+  }
+  return due;
 }
 
 void SolverEngine::note_depth(int depth) {
@@ -48,8 +59,13 @@ void SolverEngine::note_depth(int depth) {
 
 EdgeColoring SolverEngine::solve() {
   if (g_.num_edges() > 0) {
-    QPLEC_ASSERT(
-        is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
+    // Demoted entry walk: phi properness is re-checked by every primitive
+    // that consumes it, and the final coloring is validated downstream.
+    if (validation_due()) {
+      const PassTimer timer(stats_.profile.validate_ms);
+      QPLEC_ASSERT(
+          is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
+    }
     solve_no_slack(EdgeSubset::all(g_), base_depth_);
   }
   return finish_solve();
@@ -57,16 +73,26 @@ EdgeColoring SolverEngine::solve() {
 
 EdgeColoring SolverEngine::solve_relaxed_instance(double slack) {
   if (g_.num_edges() > 0) {
-    QPLEC_ASSERT(
-        is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
+    if (validation_due()) {
+      const PassTimer timer(stats_.profile.validate_ms);
+      QPLEC_ASSERT(
+          is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
+    }
     solve_relaxed(EdgeSubset::all(g_), slack, 0, palette_, base_depth_);
   }
   return finish_solve();
 }
 
 EdgeColoring SolverEngine::finish_solve() {
-  std::string why;
-  QPLEC_ASSERT_MSG(is_proper_edge_coloring(g_, final_, &why), "engine output invalid: " << why);
+  // Demoted exit walk: Solver::run validates the full solution against the
+  // original instance unconditionally, so this engine-level sweep is a
+  // redundant early tripwire worth sampling, not paying every solve.
+  if (validation_due()) {
+    const PassTimer timer(stats_.profile.validate_ms);
+    std::string why;
+    QPLEC_ASSERT_MSG(is_proper_edge_coloring(g_, final_, &why),
+                     "engine output invalid: " << why);
+  }
   if (cache_) {
     stats_.cache_flushes += cache_->flushes();
     stats_.cache_deltas += cache_->deltas_noted();
@@ -115,18 +141,112 @@ int SolverEngine::max_induced_degree(const EdgeSubset& s) const {
   return deg.max();
 }
 
+int SolverEngine::round_head(const EdgeSubset& H, const char* invariant) {
+  const bool validate = validation_due();
+
+  if (config_.fuse_supersteps) {
+    // One superstep: the list refresh, the degree measurement and (when
+    // due) the feasibility walk all read committed neighbor state and write
+    // only e-owned state or lane-indexed accumulators, and in the split
+    // schedule nothing between their barriers mutates either — so merging
+    // them into one pass is bit-identical and collapses two (or three)
+    // round barriers into one.  The ledger still sees exactly the single
+    // refresh round the split schedule charges.
+    ledger_.charge(1, "refresh-lists");
+    ++stats_.profile.supersteps;
+    stats_.profile.fused_sweeps_saved += validate ? 2 : 1;
+    const PassTimer profile_timer(stats_.profile.pass_ms);
+    const PassTimer timer(stats_.refresh_ms);
+    DeterministicReducer<int> deg(exec_->lanes(), 0);
+    if (cache_) cache_->flush();
+    exec_->for_members(H, [&](int lane, EdgeId e) {
+      auto& list = work_[static_cast<std::size_t>(e)];
+      if (cache_) {
+        cache_->consume(lane, e, list);
+      } else {
+        g_.for_each_edge_neighbor(e, [&](EdgeId f) {
+          const Color cf = final_[static_cast<std::size_t>(f)];
+          if (cf != kUncolored) list.remove(cf);
+        });
+      }
+      const int di = induced_degree(lane, e, H);
+      deg.lane(lane) = std::max(deg.lane(lane), di);
+      if (validate) {
+        QPLEC_ASSERT_MSG(list.size() >= di + 1, invariant << " violated at edge " << e);
+      }
+    });
+    return deg.max();
+  }
+
+  // Split schedule (the PR 5 reference): one barrier per sweep.
+  {
+    const PassTimer profile_timer(stats_.profile.pass_ms);
+    refresh_lists(H);
+  }
+  int d = 0;
+  {
+    const PassTimer barrier_timer(stats_.profile.barrier_ms);
+    d = max_induced_degree(H);
+  }
+  if (validate) {
+    const PassTimer validate_timer(stats_.profile.validate_ms);
+    exec_->for_members(H, [&](int lane, EdgeId e) {
+      QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
+                           induced_degree(lane, e, H) + 1,
+                       invariant << " violated at edge " << e);
+    });
+  }
+  return d;
+}
+
+int SolverEngine::relaxed_head(const EdgeSubset& A, double slack, Color lo, Color hi) {
+  const bool validate = validation_due();
+
+  // Entry invariant of P(dbar, S, C): |L_e| > slack * deg_A(e), lists within
+  // [lo, hi).  Pure reads — fusable with the degree measurement.
+  const auto entry_check = [&](int lane, EdgeId e, int di) {
+    const auto& list = work_[static_cast<std::size_t>(e)];
+    QPLEC_ASSERT(!list.empty());
+    QPLEC_ASSERT(list.colors().front() >= lo && list.colors().back() < hi);
+    QPLEC_ASSERT_MSG(static_cast<double>(list.size()) > slack * di - 1e-9,
+                     "relaxed entry slack violated at edge " << e);
+    (void)lane;
+  };
+
+  if (config_.fuse_supersteps) {
+    if (validate) ++stats_.profile.fused_sweeps_saved;
+    ++stats_.profile.supersteps;
+    const PassTimer profile_timer(stats_.profile.pass_ms);
+    DeterministicReducer<int> deg(exec_->lanes(), 0);
+    exec_->for_members(A, [&](int lane, EdgeId e) {
+      const int di = induced_degree(lane, e, A);
+      deg.lane(lane) = std::max(deg.lane(lane), di);
+      if (validate) entry_check(lane, e, di);
+    });
+    return deg.max();
+  }
+
+  int d = 0;
+  {
+    const PassTimer barrier_timer(stats_.profile.barrier_ms);
+    d = max_induced_degree(A);
+  }
+  if (validate) {
+    const PassTimer validate_timer(stats_.profile.validate_ms);
+    exec_->for_members(A, [&](int lane, EdgeId e) {
+      entry_check(lane, e, induced_degree(lane, e, A));
+    });
+  }
+  return d;
+}
+
 void SolverEngine::solve_basecase(const EdgeSubset& H) {
   checkpoint();
   ++stats_.basecase_calls;
-  refresh_lists(H);
+  const int d = round_head(H, "base case feasibility");
   const LineGraphConflict view(g_, H);
-  const int d = max_induced_degree(H);
-  exec_->for_members(H, [&](int lane, EdgeId e) {
-    QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
-                         induced_degree(lane, e, H) + 1,
-                     "base case feasibility violated at edge " << e);
-  });
-  solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_, exec_, control_);
+  solve_conflict_list(view, work_, phi_, phi_palette_, d, final_, ledger_, exec_, control_,
+                      &gate_);
   // The whole subset finalized at once: record the deltas for the next
   // flush (lane queues concatenate to ascending id order either way).
   exec_->for_members(H, [&](int lane, EdgeId e) {
@@ -141,15 +261,9 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
   while (!H.empty()) {
     QPLEC_ASSERT_MSG(++guard <= 64, "no-slack outer loop failed to terminate");
     checkpoint();
-    refresh_lists(H);
-    const int d = max_induced_degree(H);
-
-    // Paper invariant: the current subgraph is a (deg+1)-list instance.
-    exec_->for_members(H, [&](int lane, EdgeId e) {
-      QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
-                           induced_degree(lane, e, H) + 1,
-                       "(deg+1)-list invariant violated at edge " << e);
-    });
+    // Round head: refresh + degree measurement + (gated) the paper's
+    // invariant that the current subgraph is a (deg+1)-list instance.
+    const int d = round_head(H, "(deg+1)-list invariant");
 
     if (d <= policy_.base_degree_threshold) {
       solve_basecase(H);
@@ -159,15 +273,19 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
     const int beta = policy_.beta(d);
     ++stats_.defective_calls;
     const DefectiveColoring dc =
-        defective_edge_coloring(g_, H, beta, phi_, phi_palette_, ledger_, exec_);
+        defective_edge_coloring(g_, H, beta, phi_, phi_palette_, ledger_, exec_, &gate_);
 
-    // Degrees at phase start drive both the activity test and the defect
-    // tightness statistic.  The ratio folds through a per-lane max (order-
-    // invariant), everything else is an e-owned write.
+    // Degrees at phase start drive the activity test (always needed); the
+    // defect tightness statistic rides the same pass but is pure telemetry —
+    // its per-edge defect count is a neighborhood walk the validation tier
+    // may skip.  The ratio folds through a per-lane max (order-invariant),
+    // everything else is an e-owned write.
     std::vector<int> deg0(static_cast<std::size_t>(g_.num_edges()), 0);
+    const bool defect_due = validation_due();
     DeterministicReducer<double> defect_ratio(exec_->lanes(), stats_.max_defect_ratio);
     exec_->for_members(H, [&](int lane, EdgeId e) {
       deg0[static_cast<std::size_t>(e)] = induced_degree(lane, e, H);
+      if (!defect_due) return;
       const int defect = edge_defect(g_, H, dc.cls, e);
       if (defect > 0) {
         const double bound = static_cast<double>(deg0[static_cast<std::size_t>(e)]) /
@@ -176,7 +294,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
             std::max(defect_ratio.lane(lane), static_cast<double>(defect) / bound);
       }
     });
-    stats_.max_defect_ratio = defect_ratio.max();
+    if (defect_due) stats_.max_defect_ratio = defect_ratio.max();
 
     std::vector<std::vector<EdgeId>> buckets(static_cast<std::size_t>(dc.num_classes));
     H.for_each([&](EdgeId e) {
@@ -227,16 +345,21 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
         if (is_active[t]) active.insert(bucket[t]);
       }
       if (!active.empty()) {
-        // Slack guarantee of Lemma 4.2 (asserted): within the active class
-        // subgraph, |L_e| > beta * deg'(e).
-        exec_->for_members(active, [&](int lane, EdgeId e) {
-          const int dprime = induced_degree(lane, e, active);
-          QPLEC_ASSERT_MSG(
-              work_[static_cast<std::size_t>(e)].size() >
-                  static_cast<std::int64_t>(beta) * dprime,
-              "slack guarantee violated: |L|=" << work_[static_cast<std::size_t>(e)].size()
-                                               << " beta=" << beta << " deg'=" << dprime);
-        });
+        // Slack guarantee of Lemma 4.2 (asserted, gated): within the active
+        // class subgraph, |L_e| > beta * deg'(e).  The activity test above
+        // already enforced the half-degree bound the recursion needs; this
+        // standalone walk re-derives the paper's stronger statement.
+        if (validation_due()) {
+          const PassTimer validate_timer(stats_.profile.validate_ms);
+          exec_->for_members(active, [&](int lane, EdgeId e) {
+            const int dprime = induced_degree(lane, e, active);
+            QPLEC_ASSERT_MSG(
+                work_[static_cast<std::size_t>(e)].size() >
+                    static_cast<std::int64_t>(beta) * dprime,
+                "slack guarantee violated: |L|=" << work_[static_cast<std::size_t>(e)].size()
+                                                 << " beta=" << beta << " deg'=" << dprime);
+          });
+        }
         solve_relaxed(std::move(active), static_cast<double>(beta), 0, palette_, depth + 1);
       }
     }
@@ -247,7 +370,10 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
     H.for_each([&](EdgeId e) {
       if (final_[static_cast<std::size_t>(e)] == kUncolored) next.insert(e);
     });
-    if (!next.empty()) {
+    // Degree halving (asserted, gated): the measurement sweep exists only to
+    // feed the assert — the next iteration's round head re-measures anyway.
+    if (!next.empty() && validation_due()) {
+      const PassTimer validate_timer(stats_.profile.validate_ms);
       const int nd = max_induced_degree(next);
       QPLEC_ASSERT_MSG(2 * nd <= d, "degree halving violated: " << d << " -> " << nd);
     }
@@ -261,18 +387,7 @@ void SolverEngine::solve_relaxed(EdgeSubset A, double slack, Color lo, Color hi,
   QPLEC_REQUIRE(slack >= 1.0);
   checkpoint();
 
-  const int d = max_induced_degree(A);
-
-  // Entry invariant of P(dbar, S, C): |L_e| > slack * deg_A(e), lists within
-  // [lo, hi).
-  exec_->for_members(A, [&](int lane, EdgeId e) {
-    const auto& list = work_[static_cast<std::size_t>(e)];
-    QPLEC_ASSERT(!list.empty());
-    QPLEC_ASSERT(list.colors().front() >= lo && list.colors().back() < hi);
-    QPLEC_ASSERT_MSG(static_cast<double>(list.size()) >
-                         slack * induced_degree(lane, e, A) - 1e-9,
-                     "relaxed entry slack violated at edge " << e);
-  });
+  const int d = relaxed_head(A, slack, lo, hi);
 
   if (d == 0) {
     // Independent edges: everyone picks its smallest remaining color.

@@ -30,6 +30,8 @@
 #include "src/coloring/palette.hpp"
 #include "src/coloring/problem.hpp"
 #include "src/common/control.hpp"
+#include "src/common/exec_config.hpp"
+#include "src/core/pass_timer.hpp"
 #include "src/core/policy.hpp"
 #include "src/dist/backend.hpp"
 #include "src/dist/neighbor_cache.hpp"
@@ -38,6 +40,37 @@
 #include "src/local/ledger.hpp"
 
 namespace qplec {
+
+/// How the engine actually scheduled its round loop: superstep fusion,
+/// validation-tier decisions and where the wall time between round barriers
+/// went.  The counters are deterministic for a fixed ExecConfig (they follow
+/// the serial control flow, not the lane layout); the *_ms splits are wall
+/// time — real but non-deterministic, never part of a fingerprint.
+struct RoundProfile {
+  /// Fused round-head sweeps executed (refresh + degree measurement + due
+  /// validation sharing one backend pass / one round barrier).
+  std::int64_t supersteps = 0;
+  /// Separate sweeps (each its own barrier in the split schedule) that
+  /// fusion merged away.
+  std::int64_t fused_sweeps_saved = 0;
+  /// Demoted invariant walks that ran / that the validation tier skipped.
+  std::int64_t validation_walks_run = 0;
+  std::int64_t validation_walks_skipped = 0;
+  /// SolveControl polls (0 when no control is attached).
+  std::int64_t checkpoints = 0;
+  /// Round-head sweeps: the fused superstep, or the refresh pass alone in
+  /// the split schedule.
+  double pass_ms = 0.0;
+  /// Standalone demoted validation walks that ran (split schedule; fused
+  /// validation is inside pass_ms).
+  double validate_ms = 0.0;
+  /// Progress-snapshot cost inside checkpoints — the ledger-total reads the
+  /// incremental ledger made O(1)/O(depth).
+  double ledger_ms = 0.0;
+  /// Extra standalone measurement sweeps (their own round barriers) the
+  /// split schedule pays and fusion eliminates.
+  double barrier_ms = 0.0;
+};
 
 struct SolverStats {
   std::int64_t basecase_calls = 0;
@@ -72,6 +105,9 @@ struct SolverStats {
   double refresh_ms = 0.0;
   double restrict_ms = 0.0;
 
+  /// Round-loop schedule profile (engine + children share one).
+  RoundProfile profile;
+
   void merge_max(const SolverStats&) = delete;  // single object shared by reference
 };
 
@@ -84,11 +120,16 @@ class SolverEngine {
   /// src/coloring routes through it); null = serial; the backend must shard
   /// this g.  Children created by the recursion run serial: their virtual
   /// graphs are orders of magnitude smaller.
-  /// use_neighbor_cache: maintain a NeighborColorCache so the refresh /
-  /// mark-active / Lemma 4.3 restriction passes consume per-round deltas of
-  /// newly finalized neighbor colors instead of rescanning the global final
-  /// array and full neighborhoods (ExecOptions::use_neighbor_cache routes
-  /// here; children inherit the setting).  Bit-identical either way.
+  /// config: the round-loop knobs of the unified ExecConfig —
+  /// use_neighbor_cache (maintain a NeighborColorCache so the refresh /
+  /// mark-active / Lemma 4.3 restriction passes consume per-round deltas
+  /// instead of rescanning full neighborhoods), fuse_supersteps (merge the
+  /// round-head sweeps sharing a barrier into one backend pass) and the
+  /// validation tier (cadence of the demoted invariant walks).  Children
+  /// inherit the config; every combination is bit-identical (the
+  /// differential suite in tests/test_roundloop.cpp pins it).  The engine
+  /// ignores the sharding fields — the caller already resolved them into
+  /// `exec`.
   /// control: optional cancellation/deadline/progress hook, polled at the
   /// serial points between rounds only (children inherit the pointer); a
   /// cancelled solve unwinds with SolveInterrupted, a completed solve is
@@ -96,7 +137,7 @@ class SolverEngine {
   SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
                const Policy& policy, RoundLedger& ledger, SolverStats& stats, int depth,
-               const ExecBackend* exec = nullptr, bool use_neighbor_cache = true,
+               const ExecBackend* exec = nullptr, const ExecConfig& config = {},
                const SolveControl* control = nullptr);
 
   /// Colors every edge; the result is proper (asserted) and each edge's
@@ -142,6 +183,25 @@ class SolverEngine {
   // refresh (same resulting lists).
   void refresh_lists(const EdgeSubset& H);
 
+  // The round head shared by solve_no_slack and solve_basecase: refresh the
+  // lists of H, measure max induced degree, and (when the validation gate
+  // fires) walk the (deg+1) feasibility invariant — fused into ONE backend
+  // pass under config_.fuse_supersteps, or run as the PR 5 split schedule
+  // (one barrier per sweep) otherwise.  Charges exactly the one refresh
+  // round either way; returns the measured degree.  `invariant` labels the
+  // feasibility assert's message.
+  int round_head(const EdgeSubset& H, const char* invariant);
+
+  // The solve_relaxed entry head: measure max induced degree over A and
+  // (when the gate fires) walk the P(dbar, S, C) entry invariant — fused
+  // into one pass, or split, by the same rule.  Charges nothing (neither
+  // sweep is a communication round).
+  int relaxed_head(const EdgeSubset& A, double slack, Color lo, Color hi);
+
+  // Draws the validation gate for one demoted walk site and records the
+  // decision in the profile.
+  bool validation_due();
+
   // max_induced_edge_degree(s) computed through the execution backend (a
   // shard-parallel max reduction on the sharded path).  Valid only for
   // subsets of unfinalized edges — every subset the round loop builds — so
@@ -158,8 +218,13 @@ class SolverEngine {
   // Polls the attached SolveControl (cancel flag, deadline, progress
   // callback).  Called only from the serial sections between rounds — never
   // inside a backend pass — so throwing here unwinds cleanly at a round
-  // barrier with no parallel work in flight.
+  // barrier with no parallel work in flight.  The progress snapshot reads
+  // the ledger's incremental totals: O(1) for the raw sum, O(open depth)
+  // for the effective total — no ledger-tree walk.
   void checkpoint() const {
+    if (control_ == nullptr) return;
+    ++stats_.profile.checkpoints;
+    const PassTimer timer(stats_.profile.ledger_ms);
     solve_checkpoint(control_, [&] {
       return RoundProgress{ledger_.total(), ledger_.raw_total()};
     });
@@ -175,7 +240,8 @@ class SolverEngine {
   SolverStats& stats_;
   int base_depth_;
   const ExecBackend* exec_;  ///< never null; serial_backend() by default
-  bool use_neighbor_cache_;  ///< inherited by the children the recursion spawns
+  ExecConfig config_;        ///< round-loop knobs; children inherit the config
+  ValidationGate gate_;      ///< per-engine cadence of the demoted walks
   const SolveControl* control_;  ///< null when uncontrolled; children inherit
   EdgeColoring final_;
   std::unique_ptr<NeighborColorCache> cache_;  ///< null on the uncached path

@@ -48,8 +48,8 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack,
   // edge shards (src/dist); everything else keeps the seed's serial path.
   std::unique_ptr<ShardedExecution> sharded;
   const ExecBackend* exec = nullptr;
-  if (exec_.wants_sharding(g.num_edges())) {
-    sharded = std::make_unique<ShardedExecution>(g, exec_);
+  if (config_.wants_sharding(g.num_edges())) {
+    sharded = std::make_unique<ShardedExecution>(g, config_);
     exec = &sharded->backend();
   }
 
@@ -68,8 +68,7 @@ SolveResult Solver::run(const ListEdgeColoringInstance& instance, double slack,
 
   // Phases 1+: the Section 4 recursion.
   SolverEngine engine(g, instance.lists, instance.palette_size, std::move(lin.colors),
-                      lin.palette, policy_, ledger, res.stats, 0, exec,
-                      exec_.use_neighbor_cache, control);
+                      lin.palette, policy_, ledger, res.stats, 0, exec, config_, control);
   {
     auto scope = ledger.sequential("list-edge-coloring");
     res.colors = slack > 1.0 ? engine.solve_relaxed_instance(slack) : engine.solve();

@@ -33,15 +33,17 @@ struct SolveResult {
 
 class Solver {
  public:
-  /// exec selects the execution backend: the default runs the seed's serial
-  /// path; ExecOptions{.shards = S} simulates the instance's rounds S-way
-  /// parallel (src/dist) once the graph crosses exec.min_sharded_edges.
-  /// Results are bit-identical across backends and shard counts.
-  explicit Solver(Policy policy = Policy::practical(), ExecOptions exec = {})
-      : policy_(std::move(policy)), exec_(exec) {}
+  /// config carries the unified execution knobs (src/common/exec_config.hpp):
+  /// the default runs the seed's serial path; ExecConfig{.shards = S}
+  /// simulates the instance's rounds S-way parallel (src/dist) once the
+  /// graph crosses config.min_sharded_edges; fuse_supersteps and the
+  /// validation tier select the round-loop schedule.  Results are
+  /// bit-identical across backends, shard counts, fusion modes and tiers.
+  explicit Solver(Policy policy = Policy::practical(), ExecConfig config = {})
+      : policy_(std::move(policy)), config_(config) {}
 
   const Policy& policy() const { return policy_; }
-  const ExecOptions& exec_options() const { return exec_; }
+  const ExecConfig& config() const { return config_; }
 
   /// Solves the instance; throws InvariantViolation if any internal
   /// guarantee fails and returns a solution validated against `instance`.
@@ -64,7 +66,7 @@ class Solver {
                   const SolveControl* control) const;
 
   Policy policy_;
-  ExecOptions exec_;
+  ExecConfig config_;
 };
 
 }  // namespace qplec

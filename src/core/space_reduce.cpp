@@ -113,7 +113,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     }
     SolverEngine child(vg, std::move(child_lists), static_cast<Color>(q),
                        std::move(child_phi), phi_palette_, policy_, ledger_, stats_,
-                       depth + 1, /*exec=*/nullptr, use_neighbor_cache_, control_);
+                       depth + 1, /*exec=*/nullptr, config_, control_);
     const EdgeColoring chosen = child.solve();
     for (EdgeId ve = 0; ve < vg.num_edges(); ++ve) {
       const EdgeId e = parent_of[static_cast<std::size_t>(ve)];

@@ -1,7 +1,6 @@
 #include "src/dist/backend.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "src/runtime/thread_pool.hpp"
 
@@ -26,12 +25,6 @@ void SerialBackend::for_edge_ranges(
   QPLEC_REQUIRE(universe >= 0);
   if (universe == 0) return;
   fn(0, 0, static_cast<EdgeId>(universe));
-}
-
-int ExecOptions::pool_threads() const {
-  if (num_threads > 0) return num_threads;
-  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  return std::min(std::max(1, shards), hw);
 }
 
 const ExecBackend& serial_backend() {
@@ -103,13 +96,13 @@ void ShardedBackend::for_nodes(const Graph& g,
   });
 }
 
-ShardedExecution::ShardedExecution(const Graph& g, const ExecOptions& options) {
-  ThreadPool* pool = options.shared_pool;
+ShardedExecution::ShardedExecution(const Graph& g, const ExecConfig& config) {
+  ThreadPool* pool = config.shared_pool;
   if (pool == nullptr) {
-    owned_pool_ = std::make_unique<ThreadPool>(options.pool_threads());
+    owned_pool_ = std::make_unique<ThreadPool>(config.pool_threads());
     pool = owned_pool_.get();
   }
-  backend_ = std::make_unique<ShardedBackend>(g, options.shards, *pool);
+  backend_ = std::make_unique<ShardedBackend>(g, config.shards, *pool);
 }
 
 ShardedExecution::~ShardedExecution() = default;

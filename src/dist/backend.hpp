@@ -27,60 +27,13 @@
 #include <functional>
 #include <memory>
 
+#include "src/common/exec_config.hpp"
 #include "src/dist/partition.hpp"
 #include "src/graph/subset.hpp"
 
 namespace qplec {
 
 class ThreadPool;
-
-/// Execution-backend selection carried by the Solver (and by the batch
-/// runtime, which routes instances by size).
-struct ExecOptions {
-  /// Number of shards one instance is split into; <= 1 runs serial.
-  int shards = 1;
-  /// Worker threads backing the sharded backend; <= 0 picks
-  /// min(shards, hardware concurrency).  Ignored when shared_pool is set
-  /// (the lease carries its own size).
-  int num_threads = 0;
-  /// Instances with fewer edges than this stay on the serial path even when
-  /// shards > 1 (per-round fan-out overhead dwarfs the step work below it).
-  int min_sharded_edges = 20000;
-  /// Leased worker pool (non-owning).  When set, every ShardedExecution
-  /// built from these options runs on this pool instead of spawning its own
-  /// threads — the BatchSolver sizes one pool for the whole batch and leases
-  /// it to each instance's sharded solve.  The pool must outlive every
-  /// solver carrying these options; concurrent solves serialize their round
-  /// fan-outs on it (ThreadPool::run_indexed is lease-safe).
-  ThreadPool* shared_pool = nullptr;
-  /// Maintain a NeighborColorCache per engine (src/dist/neighbor_cache.hpp):
-  /// the refresh/restrict passes of the round loop consume per-round deltas
-  /// of newly finalized neighbor colors instead of rescanning the full
-  /// neighborhoods every round.  Output is bit-identical either way (the
-  /// differential suite in tests/test_neighbor_cache.cpp pins it); off is a
-  /// debugging/benchmark reference path.
-  bool use_neighbor_cache = true;
-
-  /// True when this configuration shards a graph of `num_edges` edges.
-  bool wants_sharding(int num_edges) const {
-    return shards > 1 && num_edges >= min_sharded_edges;
-  }
-
-  /// Shard count a solve over `num_edges` edges actually runs with: 1 on the
-  /// serial path, otherwise the configured count after the partitioner's
-  /// clamp to the edge-id universe.  The single source of truth for
-  /// reporting.
-  int effective_shards(int num_edges) const {
-    if (!wants_sharding(num_edges)) return 1;
-    return shards < num_edges ? shards : (num_edges > 1 ? num_edges : 1);
-  }
-
-  /// Worker count a shard pool built from these options gets: num_threads if
-  /// set, else min(shards, hardware concurrency).  The single sizing policy
-  /// for both a solve-owned pool (ShardedExecution) and the batch-wide
-  /// shared pool (BatchSolver).
-  int pool_threads() const;
-};
 
 class ExecBackend {
  public:
@@ -198,12 +151,12 @@ class ShardedBackend final : public ExecBackend {
 
 /// Bundles the pool + backend lifetime for one sharded solve: the Solver
 /// materializes one of these per instance it decides to shard.  With
-/// ExecOptions::shared_pool set the execution runs on the leased pool and
+/// ExecConfig::shared_pool set the execution runs on the leased pool and
 /// owns no threads of its own; otherwise it spawns (and joins) a pool sized
 /// min(shards, hardware concurrency).
 class ShardedExecution {
  public:
-  ShardedExecution(const Graph& g, const ExecOptions& options);
+  ShardedExecution(const Graph& g, const ExecConfig& config);
   ~ShardedExecution();
 
   const ExecBackend& backend() const { return *backend_; }

@@ -9,8 +9,9 @@
 
 namespace qplec {
 
-ShardedEngine::ShardedEngine(const Graph& g, int shards, ThreadPool* pool)
-    : g_(g), partition_(g, shards) {
+ShardedEngine::ShardedEngine(const Graph& g, int shards, ThreadPool* pool,
+                             bool fuse_supersteps)
+    : g_(g), partition_(g, shards), fuse_supersteps_(fuse_supersteps) {
   if (pool != nullptr) {
     pool_ = pool;
   } else {
@@ -44,6 +45,7 @@ EngineStats ShardedEngine::run(const Engine::ProgramFactory& factory,
     c.delta_ = g_.max_degree();
     c.round_ = 0;
     c.inbox_.assign(static_cast<std::size_t>(g_.degree(v)), std::nullopt);
+    c.inbox_round_.assign(static_cast<std::size_t>(g_.degree(v)), 0);
     c.outbox_.assign(static_cast<std::size_t>(g_.degree(v)), std::nullopt);
     programs[static_cast<std::size_t>(v)] = factory(v);
     QPLEC_REQUIRE(programs[static_cast<std::size_t>(v)] != nullptr);
@@ -70,16 +72,21 @@ EngineStats ShardedEngine::run(const Engine::ProgramFactory& factory,
                      "engine exceeded " << max_rounds << " rounds — non-terminating program");
     ++stats.rounds;
 
-    // Pass 1: every shard clears its own nodes' inboxes.  Must fully finish
-    // before any delivery starts: a neighboring shard delivers straight into
-    // these slots in pass 2.
-    pool_->run_indexed(num_shards, [&](int, int s) {
-      const NodeShard& shard = partition_.shard(s);
-      for (NodeId v = shard.node_begin; v < shard.node_end; ++v) {
-        auto& c = ctx[static_cast<std::size_t>(v)];
-        c.inbox_.assign(c.inbox_.size(), std::nullopt);
-      }
-    });
+    // Pass 1 (reference schedule only): every shard clears its own nodes'
+    // inboxes.  Must fully finish before any delivery starts: a neighboring
+    // shard delivers straight into these slots in pass 2.  Fused runs skip
+    // this pass and barrier entirely — delivery round-stamps each slot it
+    // fills and received() ignores stale stamps, so a blanked slot and a
+    // stale one are indistinguishable to every program.
+    if (!fuse_supersteps_) {
+      pool_->run_indexed(num_shards, [&](int, int s) {
+        const NodeShard& shard = partition_.shard(s);
+        for (NodeId v = shard.node_begin; v < shard.node_end; ++v) {
+          auto& c = ctx[static_cast<std::size_t>(v)];
+          c.inbox_.assign(c.inbox_.size(), std::nullopt);
+        }
+      });
+    }
 
     // Pass 2: every shard drains its own nodes' outboxes.  The write target
     // inbox slot (dest, dest_port) is owned by this sender alone, so intra-
@@ -98,6 +105,8 @@ EngineStats ShardedEngine::run(const Engine::ProgramFactory& factory,
           const PortRoute& r = partition_.route(v, static_cast<int>(p));
           NodeContext& dest = ctx[static_cast<std::size_t>(r.dest)];
           dest.inbox_[static_cast<std::size_t>(r.dest_port)] = std::move(*slot);
+          dest.inbox_round_[static_cast<std::size_t>(r.dest_port)] =
+              static_cast<int>(stats.rounds);
           slot.reset();
         }
       }

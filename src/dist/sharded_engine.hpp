@@ -2,9 +2,11 @@
 //
 // Semantically this is src/local/engine.hpp executed shard-parallel: the
 // node set splits into contiguous degree-balanced shards (NodePartition) and
-// every synchronous round becomes three barrier-separated parallel passes on
-// a ThreadPool:
-//   1. each shard clears its own nodes' inboxes,
+// every synchronous round becomes barrier-separated parallel passes on a
+// ThreadPool — two when supersteps are fused (the default: delivery round-
+// stamps each slot, so the clear pass is provably unobservable and elided),
+// three in the reference schedule:
+//   1. each shard clears its own nodes' inboxes (reference schedule only),
 //   2. each shard delivers its own nodes' outboxes — writes go straight into
 //      the destination inbox slot, including across shards, with no locks:
 //      inbox slot (w, port) has exactly one writer (the unique neighbor on
@@ -41,7 +43,12 @@ class ShardedEngine {
   /// Splits g into `shards` shards (clamped to [1, num_nodes]).  When `pool`
   /// is null the engine owns a pool of min(shards, hardware) workers;
   /// otherwise the caller's pool is used and must outlive the engine.
-  ShardedEngine(const Graph& g, int shards, ThreadPool* pool = nullptr);
+  /// `fuse_supersteps` drops the inbox-clear pass — round stamps written at
+  /// delivery make stale slots invisible to received() — so each round costs
+  /// two barrier-separated parallel passes instead of three.  Results are
+  /// bit-identical either way.
+  ShardedEngine(const Graph& g, int shards, ThreadPool* pool = nullptr,
+                bool fuse_supersteps = true);
   ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
@@ -64,6 +71,7 @@ class ShardedEngine {
   NodePartition partition_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
+  bool fuse_supersteps_;
 };
 
 }  // namespace qplec

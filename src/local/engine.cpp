@@ -4,7 +4,8 @@
 
 namespace qplec {
 
-Engine::Engine(const Graph& g) : g_(g) {}
+Engine::Engine(const Graph& g, bool fuse_supersteps)
+    : g_(g), fuse_supersteps_(fuse_supersteps) {}
 
 NodeId Engine::port_neighbor(NodeId v, int port) const {
   const auto inc = g_.incident(v);
@@ -51,6 +52,7 @@ EngineStats Engine::run(const ProgramFactory& factory, std::int64_t max_rounds) 
     c.delta_ = g_.max_degree();
     c.round_ = 0;
     c.inbox_.assign(static_cast<std::size_t>(g_.degree(v)), std::nullopt);
+    c.inbox_round_.assign(static_cast<std::size_t>(g_.degree(v)), 0);
     c.outbox_.assign(static_cast<std::size_t>(g_.degree(v)), std::nullopt);
     programs[static_cast<std::size_t>(v)] = factory(v);
     QPLEC_REQUIRE(programs[static_cast<std::size_t>(v)] != nullptr);
@@ -71,11 +73,18 @@ EngineStats Engine::run(const ProgramFactory& factory, std::int64_t max_rounds) 
                      "engine exceeded " << max_rounds << " rounds — non-terminating program");
     ++stats.rounds;
 
-    // Deliver: move outboxes into the peers' inboxes (synchronous barrier).
-    for (NodeId v = 0; v < n; ++v) {
-      auto& c = ctx[static_cast<std::size_t>(v)];
-      c.inbox_.assign(c.inbox_.size(), std::nullopt);
+    // Reference clear sweep.  Redundant under fusion: delivery stamps every
+    // slot it fills with the current round and received() ignores any slot
+    // whose stamp is stale, so physically blanking old messages changes
+    // nothing a program can observe.
+    if (!fuse_supersteps_) {
+      for (NodeId v = 0; v < n; ++v) {
+        auto& c = ctx[static_cast<std::size_t>(v)];
+        c.inbox_.assign(c.inbox_.size(), std::nullopt);
+      }
     }
+
+    // Deliver: move outboxes into the peers' inboxes (synchronous barrier).
     for (NodeId v = 0; v < n; ++v) {
       auto& c = ctx[static_cast<std::size_t>(v)];
       for (std::size_t p = 0; p < c.outbox_.size(); ++p) {
@@ -86,8 +95,10 @@ EngineStats Engine::run(const ProgramFactory& factory, std::int64_t max_rounds) 
         stats.max_message_words = std::max(
             stats.max_message_words, static_cast<std::int64_t>(slot->words.size()));
         const auto [w, back_port] = route[static_cast<std::size_t>(v)][p];
-        ctx[static_cast<std::size_t>(w)].inbox_[static_cast<std::size_t>(back_port)] =
-            std::move(*slot);
+        NodeContext& dest = ctx[static_cast<std::size_t>(w)];
+        dest.inbox_[static_cast<std::size_t>(back_port)] = std::move(*slot);
+        dest.inbox_round_[static_cast<std::size_t>(back_port)] =
+            static_cast<int>(stats.rounds);
         slot.reset();
       }
     }

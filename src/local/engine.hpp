@@ -43,11 +43,18 @@ class NodeContext {
   int max_graph_degree() const { return delta_; }
   int round() const { return round_; }
 
-  /// Message received on `port` this round, or nullptr.
+  /// Message received on `port` this round, or nullptr.  A slot counts as
+  /// received only when its round stamp matches the current round: delivery
+  /// stamps the slot, so a stale message from an earlier round is invisible
+  /// whether or not the engine physically cleared it.  This is what lets the
+  /// fused engines skip the clear sweep (one fewer barrier per round) with
+  /// bit-identical observable behavior.
   const Message* received(int port) const {
     QPLEC_REQUIRE(port >= 0 && port < degree());
     const auto& slot = inbox_[static_cast<std::size_t>(port)];
-    return slot.has_value() ? &*slot : nullptr;
+    if (!slot.has_value()) return nullptr;
+    if (inbox_round_[static_cast<std::size_t>(port)] != round_) return nullptr;
+    return &*slot;
   }
 
   /// Queues a message for `port`; delivered to the neighbor next round.
@@ -74,6 +81,7 @@ class NodeContext {
   int round_ = 0;
   bool done_ = false;
   std::vector<std::optional<Message>> inbox_;
+  std::vector<int> inbox_round_;  // round each inbox slot was delivered in
   std::vector<std::optional<Message>> outbox_;
 };
 
@@ -102,7 +110,11 @@ struct EngineStats {
 /// node index (engine-side bookkeeping only; the program never sees it).
 class Engine {
  public:
-  explicit Engine(const Graph& g);
+  /// `fuse_supersteps` merges the inbox-clear sweep into delivery (round
+  /// stamps make stale slots invisible, see NodeContext::received); false
+  /// keeps the explicit reference clear pass.  Results are bit-identical
+  /// either way — the flag exists so tests can pin that equality.
+  explicit Engine(const Graph& g, bool fuse_supersteps = true);
 
   using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
 
@@ -119,6 +131,7 @@ class Engine {
 
  private:
   const Graph& g_;
+  bool fuse_supersteps_;
 };
 
 }  // namespace qplec

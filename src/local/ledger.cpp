@@ -15,6 +15,7 @@ RoundLedger::RoundLedger() : root_(std::make_unique<Node>()) {
 void RoundLedger::charge(std::int64_t rounds, std::string_view phase) {
   QPLEC_REQUIRE(rounds >= 0);
   stack_.back()->self += rounds;
+  raw_running_ += rounds;
   phases_[std::string(phase)] += rounds;
 }
 
@@ -48,7 +49,18 @@ RoundLedger::Scope RoundLedger::parallel(std::string_view name) {
 
 void RoundLedger::close_scope() {
   QPLEC_ASSERT_MSG(stack_.size() > 1, "scope underflow");
+  // All of the closing scope's own children are already closed (scopes nest),
+  // so its effective total is self + closed_agg; fold it into the parent's
+  // closed-children aggregate so total() never has to revisit this subtree.
+  const Node* child = stack_.back();
   stack_.pop_back();
+  Node* parent = stack_.back();
+  const std::int64_t child_total = child->self + child->closed_agg;
+  if (parent->parallel) {
+    parent->closed_agg = std::max(parent->closed_agg, child_total);
+  } else {
+    parent->closed_agg += child_total;
+  }
 }
 
 std::int64_t RoundLedger::eval(const Node& node) {
@@ -68,9 +80,24 @@ std::int64_t RoundLedger::raw(const Node& node) {
   return sum;
 }
 
-std::int64_t RoundLedger::total() const { return eval(*root_); }
+std::int64_t RoundLedger::total() const {
+  // Fold along the open stack from the deepest scope up.  Each open node has
+  // at most one open child (the next stack entry, contributing `below`);
+  // every other child is closed and already aggregated in closed_agg.
+  std::int64_t below = 0;
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    const Node* n = *it;
+    below = n->parallel ? n->self + std::max(n->closed_agg, below)
+                        : n->self + n->closed_agg + below;
+  }
+  return below;
+}
 
-std::int64_t RoundLedger::raw_total() const { return raw(*root_); }
+std::int64_t RoundLedger::raw_total() const { return raw_running_; }
+
+std::int64_t RoundLedger::walked_total() const { return eval(*root_); }
+
+std::int64_t RoundLedger::walked_raw_total() const { return raw(*root_); }
 
 std::map<std::string, std::int64_t> RoundLedger::phase_breakdown() const { return phases_; }
 

@@ -15,6 +15,16 @@
 // Every charge also carries a phase label so experiments can break the round
 // count down by algorithm component (defective coloring vs. subspace
 // assignment vs. base cases, ...).
+//
+// Cost model of the totals themselves: the service progress callbacks read
+// total()/raw_total() between rounds, so both are maintained incrementally —
+// raw_total() is a running counter (O(1)) and total() folds only along the
+// open-scope stack (O(depth), bounded by the recursion guard at 64) instead
+// of walking the whole scope tree.  Each scope carries the aggregate of its
+// already-closed children (sum for sequential, max for parallel), updated
+// once when a child closes.  walked_total()/walked_raw_total() are the
+// O(tree) reference walks; tests/test_roundloop.cpp pins the incremental
+// totals to them at every step.
 #pragma once
 
 #include <cstdint>
@@ -60,10 +70,19 @@ class RoundLedger {
   [[nodiscard]] Scope parallel(std::string_view name);
 
   /// Effective LOCAL-model rounds of the execution recorded so far.
+  /// O(open-scope depth) — never walks the closed subtrees.
   std::int64_t total() const;
 
-  /// Plain sum of every charge, ignoring parallel composition.
+  /// Plain sum of every charge, ignoring parallel composition.  O(1).
   std::int64_t raw_total() const;
+
+  /// Full-tree reference recomputation of total() — O(tree).  Exists only so
+  /// tests and benches can cross-check the incremental total; production
+  /// callers (progress checkpoints) use total().
+  std::int64_t walked_total() const;
+
+  /// Full-tree reference recomputation of raw_total() — O(tree).
+  std::int64_t walked_raw_total() const;
 
   /// Raw charge totals grouped by phase label.
   std::map<std::string, std::int64_t> phase_breakdown() const;
@@ -76,6 +95,11 @@ class RoundLedger {
     std::string name;
     bool parallel = false;
     std::int64_t self = 0;
+    /// Aggregate of the already-closed children's effective totals: their
+    /// SUM for a sequential scope, their MAX for a parallel one.  Folded in
+    /// by close_scope(); at any moment at most one child (the next node on
+    /// the open stack) is not yet covered.
+    std::int64_t closed_agg = 0;
     std::vector<std::unique_ptr<Node>> children;
   };
 
@@ -87,6 +111,7 @@ class RoundLedger {
   std::unique_ptr<Node> root_;
   std::vector<Node*> stack_;
   std::map<std::string, std::int64_t> phases_;
+  std::int64_t raw_running_ = 0;  ///< running sum of every charge
 };
 
 }  // namespace qplec

@@ -1,8 +1,6 @@
 #include "src/runtime/batch_solver.hpp"
 
-#include <algorithm>
 #include <chrono>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,32 +26,21 @@ std::uint64_t hash_coloring(const EdgeColoring& colors) {
   return h;
 }
 
-BatchSolver::BatchSolver(BatchOptions options) : options_(options) {}
+BatchSolver::BatchSolver(ExecConfig config, bool keep_colors)
+    : config_(config), keep_colors_(keep_colors) {}
 
-int BatchSolver::num_threads() const {
-  if (options_.num_threads > 0) return options_.num_threads;
-  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-}
+int BatchSolver::num_threads() const { return config_.worker_threads(); }
 
 BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
-  // Lower the legacy BatchOptions to the service's consolidated ExecConfig.
   // The service owns both pools (scenario workers + the one shard-worker
   // lease every sharded solve shares); a caller-provided shared pool is
   // passed through and must outlive the batch.
-  ExecConfig config;
-  config.workers = options_.num_threads;
-  config.shards = options_.exec.shards;
-  config.shard_threads = options_.exec.num_threads;
-  config.min_sharded_edges = options_.exec.min_sharded_edges;
-  config.use_neighbor_cache = options_.exec.use_neighbor_cache;
-  config.shared_pool = options_.exec.shared_pool;
-
   BatchReport report;
   report.results.resize(manifest.size());
 
   const auto batch_start = std::chrono::steady_clock::now();
   {
-    SolveService service(config);
+    SolveService service(config_);
     report.num_threads = service.workers();
 
     // Submit-all, then wait in manifest order: result i is scenario i.
@@ -61,7 +48,7 @@ BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
     tickets.reserve(manifest.size());
     for (const Scenario& scenario : manifest) {
       SolveRequest request = SolveRequest::from_scenario(scenario);
-      if (!options_.keep_colors) request.discard_colors();
+      if (!keep_colors_) request.discard_colors();
       tickets.push_back(service.submit(std::move(request)));
     }
 
@@ -80,6 +67,7 @@ BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
       r.shards = out.shards;
       r.rounds = out.result.rounds;
       r.raw_rounds = out.result.raw_rounds;
+      r.stats = out.result.stats;
       r.colors_hash = out.colors_hash;
       // An invalid coloring is reported, not thrown — and any non-Ok outcome
       // (the service never throws) lands here as a plainly invalid row, with
@@ -91,7 +79,7 @@ BatchReport BatchSolver::run(const std::vector<Scenario>& manifest) const {
       r.solve_ms = out.solve_ms;
       r.edges_per_sec =
           r.solve_ms > 0 ? static_cast<double>(r.num_edges) / (r.solve_ms / 1000.0) : 0.0;
-      if (options_.keep_colors) r.colors = std::move(out.result.colors);
+      if (keep_colors_) r.colors = std::move(out.result.colors);
     }
   }  // service winds down before the wall clock stops, like the old pool did
   report.wall_ms = ms_since(batch_start);

@@ -17,27 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/exec_config.hpp"
 #include "src/core/solver.hpp"
 #include "src/runtime/scenarios.hpp"
 
 namespace qplec {
-
-/// Legacy knob bundle, kept for source compatibility; BatchSolver lowers it
-/// to the service-level ExecConfig.  New code should construct a
-/// SolveService with an ExecConfig directly.
-struct BatchOptions {
-  int num_threads = 0;   ///< <= 0: hardware concurrency
-  bool keep_colors = false;  ///< retain full colorings in the results
-  /// Intra-instance execution: with exec.shards > 1, any instance whose edge
-  /// count reaches exec.min_sharded_edges is routed to the sharded backend
-  /// (src/dist) while the rest of the manifest keeps the serial per-worker
-  /// path.  The service creates ONE sized shard-worker pool and leases it to
-  /// every sharded solve (exec.shared_pool is honored when a caller provides
-  /// its own pool) — no per-instance thread spawn, no oversubscription when
-  /// several large instances solve concurrently.  Results are identical
-  /// either way.
-  ExecOptions exec;
-};
 
 /// Everything measured about one solved scenario.
 struct ScenarioResult {
@@ -50,6 +34,7 @@ struct ScenarioResult {
   int shards = 1;  ///< intra-instance shards this scenario was solved with
   std::int64_t rounds = 0;
   std::int64_t raw_rounds = 0;
+  SolverStats stats;  ///< pass timers, cache telemetry, RoundProfile (verbatim)
   std::uint64_t colors_hash = 0;  ///< FNV-1a over the coloring (cross-run check)
   bool valid = false;
   std::string error;  ///< service outcome detail when the solve did not end Ok
@@ -57,7 +42,7 @@ struct ScenarioResult {
   double build_ms = 0.0;  ///< instance construction
   double solve_ms = 0.0;  ///< Solver::solve proper
   double edges_per_sec = 0.0;
-  EdgeColoring colors;  ///< filled only when BatchOptions::keep_colors
+  EdgeColoring colors;  ///< filled only when BatchSolver keep_colors
 };
 
 struct BatchReport {
@@ -78,7 +63,12 @@ std::uint64_t hash_coloring(const EdgeColoring& colors);
 
 class BatchSolver {
  public:
-  explicit BatchSolver(BatchOptions options = {});
+  /// `config` is the one unified execution configuration
+  /// (src/common/exec_config.hpp): `workers` sizes the scenario-level
+  /// fan-out, the intra-instance knobs (shards, fusion, validation tier,
+  /// cache) pass through to every solve.  `keep_colors` retains the full
+  /// colorings in the results (hash and validity are always computed).
+  explicit BatchSolver(ExecConfig config = {}, bool keep_colors = false);
 
   int num_threads() const;
 
@@ -88,7 +78,8 @@ class BatchSolver {
   BatchReport run(const std::vector<Scenario>& manifest) const;
 
  private:
-  BatchOptions options_;
+  ExecConfig config_;
+  bool keep_colors_;
 };
 
 }  // namespace qplec

@@ -38,6 +38,51 @@ std::string fixed(double v, int decimals = 3) {
 
 }  // namespace
 
+std::string solver_stats_json(const SolverStats& stats, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in1 = pad + "  ";
+  const std::string in2 = pad + "    ";
+  std::string out = "{\n";
+  const auto count = [&](const char* name, std::int64_t v, const std::string& ind) {
+    out += ind + "\"" + name + "\": " + std::to_string(v) + ",\n";
+  };
+  const auto ms = [&](const char* name, double v, const std::string& ind,
+                      bool last = false) {
+    out += ind + "\"" + name + "\": " + fixed(v) + (last ? "\n" : ",\n");
+  };
+  count("basecase_calls", stats.basecase_calls, in1);
+  count("defective_calls", stats.defective_calls, in1);
+  count("space_reductions", stats.space_reductions, in1);
+  count("noslack_fallbacks", stats.noslack_fallbacks, in1);
+  count("virtual_instances", stats.virtual_instances, in1);
+  count("e2_instances", stats.e2_instances, in1);
+  count("trivial_picks", stats.trivial_picks, in1);
+  count("classes_total", stats.classes_total, in1);
+  count("classes_nonempty", stats.classes_nonempty, in1);
+  count("phases_executed", stats.phases_executed, in1);
+  count("max_depth", stats.max_depth, in1);
+  out += in1 + "\"max_eq2_ratio\": " + fixed(stats.max_eq2_ratio, 6) + ",\n";
+  out += in1 + "\"max_defect_ratio\": " + fixed(stats.max_defect_ratio, 6) + ",\n";
+  count("cache_flushes", stats.cache_flushes, in1);
+  count("cache_deltas", stats.cache_deltas, in1);
+  count("cache_colors_removed", stats.cache_colors_removed, in1);
+  ms("refresh_ms", stats.refresh_ms, in1);
+  ms("restrict_ms", stats.restrict_ms, in1);
+  out += in1 + "\"profile\": {\n";
+  count("supersteps", stats.profile.supersteps, in2);
+  count("fused_sweeps_saved", stats.profile.fused_sweeps_saved, in2);
+  count("validation_walks_run", stats.profile.validation_walks_run, in2);
+  count("validation_walks_skipped", stats.profile.validation_walks_skipped, in2);
+  count("checkpoints", stats.profile.checkpoints, in2);
+  ms("pass_ms", stats.profile.pass_ms, in2);
+  ms("validate_ms", stats.profile.validate_ms, in2);
+  ms("ledger_ms", stats.profile.ledger_ms, in2);
+  ms("barrier_ms", stats.profile.barrier_ms, in2, /*last=*/true);
+  out += in1 + "}\n";
+  out += pad + "}";
+  return out;
+}
+
 BenchReporter& BenchReporter::set(const std::string& key, const std::string& value) {
   labels_.emplace_back(key, value);
   return *this;
@@ -78,6 +123,7 @@ void BenchReporter::write_json(const BatchReport& report, std::ostream& out) con
     out << "      \"build_ms\": " << fixed(r.build_ms) << ",\n";
     out << "      \"solve_ms\": " << fixed(r.solve_ms) << ",\n";
     out << "      \"edges_per_sec\": " << fixed(r.edges_per_sec, 1) << ",\n";
+    out << "      \"stats\": " << solver_stats_json(r.stats, 6) << ",\n";
     out << "      \"colors_hash\": \"" << std::hex << r.colors_hash << std::dec << "\",\n";
     out << "      \"valid\": " << (r.valid ? "true" : "false") << ",\n";
     out << "      \"error\": \"" << json_escape(r.error) << "\"\n";

@@ -15,6 +15,15 @@
 
 namespace qplec {
 
+/// The ONE stats serialization of qplec: a JSON object carrying the full
+/// SolverStats — recursion counters, measured bound tightness, cache
+/// telemetry, pass timers and the nested RoundProfile — under the exact
+/// field names every consumer shares (BenchReporter scenario entries,
+/// cli_solve --json, tools/check_golden.py --profile-summary).  `indent` is
+/// the column of the opening brace; nested lines indent two further spaces.
+/// The returned string has no trailing newline.
+std::string solver_stats_json(const SolverStats& stats, int indent);
+
 class BenchReporter {
  public:
   /// Free-form labels recorded at the top level of the report.

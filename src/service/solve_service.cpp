@@ -28,18 +28,6 @@ double ms_since(Clock::time_point start) {
 
 }  // namespace
 
-// ------------------------------------------------------------ ExecConfig ---
-
-ExecOptions ExecConfig::exec_options(ThreadPool* lease) const {
-  ExecOptions exec;
-  exec.shards = shards;
-  exec.num_threads = shard_threads;
-  exec.min_sharded_edges = min_sharded_edges;
-  exec.use_neighbor_cache = use_neighbor_cache;
-  exec.shared_pool = lease;
-  return exec;
-}
-
 const char* status_name(SolveStatus status) {
   switch (status) {
     case SolveStatus::kOk:
@@ -196,9 +184,22 @@ struct SolveService::Impl {
     }
   };
 
+  /// Deadline sweeper order: soonest deadline first (min-heap).
+  struct DeadlineEntry {
+    Clock::time_point deadline;
+    std::shared_ptr<SolveTicket::Job> job;
+
+    bool operator<(const DeadlineEntry& other) const {
+      // std::priority_queue pops the LARGEST element; invert for soonest-first.
+      return deadline > other.deadline;
+    }
+  };
+
   std::mutex mu;
-  std::condition_variable cv;
+  std::condition_variable cv;        ///< wakes solve workers
+  std::condition_variable timer_cv;  ///< wakes the deadline sweeper
   std::priority_queue<Entry> queue;
+  std::priority_queue<DeadlineEntry> deadlines;
   std::uint64_t next_seq = 0;
   bool shutdown = false;
 
@@ -206,7 +207,8 @@ struct SolveService::Impl {
   ThreadPool* shard_pool = nullptr;              ///< the lease handed to solves
 
   std::unique_ptr<ThreadPool> workers;  ///< hosts the solve-worker loops
-  std::thread pump;  ///< blocks in workers->run_indexed for the service lifetime
+  std::thread pump;   ///< blocks in workers->run_indexed for the service lifetime
+  std::thread timer;  ///< deadline sweeper: expires queued jobs eagerly
 };
 
 SolveService::SolveService(ExecConfig config)
@@ -219,13 +221,12 @@ SolveService::SolveService(ExecConfig config)
     if (config_.shared_pool != nullptr) {
       impl_->shard_pool = config_.shared_pool;
     } else {
-      impl_->owned_shard_pool =
-          std::make_unique<ThreadPool>(config_.exec_options(nullptr).pool_threads());
+      impl_->owned_shard_pool = std::make_unique<ThreadPool>(config_.pool_threads());
       impl_->shard_pool = impl_->owned_shard_pool.get();
     }
   }
 
-  impl_->workers = std::make_unique<ThreadPool>(config_.workers);
+  impl_->workers = std::make_unique<ThreadPool>(config_.worker_threads());
   // The solve workers are hosted ON the work-stealing pool: one everlasting
   // run_indexed batch with exactly one worker-loop task per pool worker.  The
   // pump thread parks inside run_indexed until shutdown drains the queue.
@@ -233,6 +234,7 @@ SolveService::SolveService(ExecConfig config)
   impl_->pump = std::thread([this, n] {
     impl_->workers->run_indexed(n, [this](int, int) { worker_loop(); });
   });
+  impl_->timer = std::thread([this] { timer_loop(); });
 }
 
 SolveService::~SolveService() {
@@ -241,7 +243,9 @@ SolveService::~SolveService() {
     impl_->shutdown = true;
   }
   impl_->cv.notify_all();
+  impl_->timer_cv.notify_all();
   impl_->pump.join();
+  impl_->timer.join();
 }
 
 int SolveService::workers() const { return impl_->workers->num_threads(); }
@@ -263,9 +267,13 @@ SolveTicket SolveService::submit(SolveRequest request) {
     std::lock_guard<std::mutex> lock(impl_->mu);
     QPLEC_REQUIRE(!impl_->shutdown);
     impl_->queue.push(Impl::Entry{priority, impl_->next_seq++, job});
+    if (job->control.has_deadline) {
+      impl_->deadlines.push(Impl::DeadlineEntry{job->control.deadline, job});
+    }
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   impl_->cv.notify_one();
+  if (job->control.has_deadline) impl_->timer_cv.notify_one();
   return SolveTicket(std::move(job));
 }
 
@@ -297,6 +305,42 @@ void SolveService::worker_loop() {
       std::lock_guard<std::mutex> lock(job->mu);
       job->done = true;
     }
+    job->cv.notify_all();
+  }
+}
+
+// The deadline sweeper.  Before this existed, a queued ticket whose deadline
+// had already passed was only noticed when a worker finally popped it — a
+// wait() on such a ticket blocked behind every unrelated solve ahead of it.
+// The sweeper sleeps until the soonest queued deadline, then resolves the
+// job kDeadlineExceeded right away (queue_ms records the time it actually
+// sat in the queue).  The stale priority-queue entry is discarded later by
+// whichever worker pops it, exactly like a cancelled-while-queued job —
+// that worker, not the sweeper, accounts it in completed().
+void SolveService::timer_loop() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  for (;;) {
+    if (impl_->shutdown) return;
+    if (impl_->deadlines.empty()) {
+      impl_->timer_cv.wait(lock);
+      continue;
+    }
+    const Clock::time_point next = impl_->deadlines.top().deadline;
+    if (Clock::now() < next) {
+      impl_->timer_cv.wait_until(lock, next);
+      continue;
+    }
+    const std::shared_ptr<SolveTicket::Job> job = impl_->deadlines.top().job;
+    impl_->deadlines.pop();
+    // impl mutex -> job mutex is the one sanctioned lock order (no path
+    // acquires them the other way around).
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    if (job->started || job->done) continue;  // running or already resolved
+    job->outcome.status = SolveStatus::kDeadlineExceeded;
+    job->outcome.error = "deadline expired while queued";
+    job->outcome.label = job->request.label_;
+    job->outcome.queue_ms = ms_since(job->submit_time);
+    job->done = true;
     job->cv.notify_all();
   }
 }
@@ -359,7 +403,7 @@ void SolveService::run_job(SolveTicket::Job& job) const {
   out.max_edge_degree = instance.graph.max_edge_degree();
   out.palette_size = instance.palette_size;
 
-  const ExecOptions exec = config_.exec_options(impl_->shard_pool);
+  const ExecConfig exec = config_.with_pool(impl_->shard_pool);
   out.shards = exec.effective_shards(out.num_edges);
   const Policy policy = req.source_ == SolveRequest::Source::kScenario
                             ? make_policy(req.scenario_.policy)

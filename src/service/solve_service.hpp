@@ -17,7 +17,7 @@
 //     priority).  Submission never blocks on solving.
 //   * ONE shared shard-worker pool (the PR 3 lease rules): every job routed
 //     to the sharded backend leases the same pool via
-//     ExecOptions::shared_pool, so concurrent big instances serialize their
+//     ExecConfig::shared_pool, so concurrent big instances serialize their
 //     round fan-outs instead of oversubscribing the machine.
 //   * The API boundary never throws: every failure mode — malformed input,
 //     cancellation, a missed deadline, a violated paper invariant — lands in
@@ -38,6 +38,7 @@
 #include <string>
 
 #include "src/common/control.hpp"
+#include "src/common/exec_config.hpp"
 #include "src/core/solver.hpp"
 #include "src/runtime/scenarios.hpp"
 
@@ -45,31 +46,12 @@ namespace qplec {
 
 class ThreadPool;
 
-/// The one consolidated execution configuration (subsumes the old
-/// BatchOptions/ExecOptions split at the API boundary): how many solve
-/// workers drain the queue, and how big instances are sharded.
-struct ExecConfig {
-  /// Solve workers draining the submission queue; <= 0 picks the hardware
-  /// concurrency (at least 1).  Results never depend on this.
-  int workers = 0;
-  /// Intra-instance shards for big instances; <= 1 keeps every solve serial.
-  int shards = 1;
-  /// Threads backing the shared shard-worker pool; <= 0 picks
-  /// min(shards, hardware concurrency).
-  int shard_threads = 0;
-  /// Instances with fewer edges stay on the serial path even when shards > 1.
-  int min_sharded_edges = 20000;
-  /// Maintain the incremental NeighborColorCache (bit-identical either way).
-  bool use_neighbor_cache = true;
-  /// Caller-owned shard-worker pool to lease instead of the service creating
-  /// one (must outlive the service).  Null: the service sizes its own when
-  /// shards > 1.
-  ThreadPool* shared_pool = nullptr;
-
-  /// Lowers this config to the engine-level ExecOptions carried by a Solver.
-  /// `lease` is the shard pool every sharded solve of this service shares.
-  ExecOptions exec_options(ThreadPool* lease) const;
-};
+// The service consumes the one unified qplec::ExecConfig
+// (src/common/exec_config.hpp) directly — the same struct every layer from
+// SolverEngine up takes.  The service reads `workers` for its queue-draining
+// solve workers and hands the rest (shards, fusion, validation tier, cache)
+// to each Solver it constructs, with `shared_pool` rewritten to the
+// service-wide shard-worker lease.
 
 /// Terminal state of a submitted solve.  The service maps every exception of
 /// the underlying stack to one of these; SolveService itself never throws
@@ -87,6 +69,9 @@ const char* status_name(SolveStatus status);
 /// Everything the service reports about one finished job.  `result` is
 /// meaningful only when status == kOk (colors may have been discarded when
 /// the request asked for that; `colors_hash` is always taken first).
+/// `result.stats` is the full SolverStats — pass timers, cache telemetry and
+/// the RoundProfile — carried verbatim from the solve; discard_colors()
+/// drops only the coloring, never the stats.
 struct SolveOutcome {
   SolveStatus status = SolveStatus::kInvalidInstance;
   SolveResult result;
@@ -134,7 +119,11 @@ class SolveRequest {
   /// Scheduling priority: higher runs sooner; FIFO within a priority.
   SolveRequest& priority(int p);
   /// Wall-clock budget from submission (queue wait included).  Exceeding it
-  /// stops the solve at the next round boundary with kDeadlineExceeded.
+  /// stops a running solve at the next round boundary with
+  /// kDeadlineExceeded; a job still queued when its deadline passes is
+  /// resolved kDeadlineExceeded eagerly by the service's deadline sweeper —
+  /// a wait() never sits behind unrelated solves for a job that can no
+  /// longer meet its budget.
   SolveRequest& deadline_ms(double ms);
   /// Solve the relaxed problem P(dbar, slack, C) instead (Lemma 4.5).
   SolveRequest& relaxed(double slack);
@@ -242,6 +231,7 @@ class SolveService {
   struct Impl;
 
   void worker_loop();
+  void timer_loop();
   void run_job(SolveTicket::Job& job) const;
 
   ExecConfig config_;

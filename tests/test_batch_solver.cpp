@@ -16,10 +16,9 @@ TEST(BatchSolver, DeterministicAcrossWorkerCounts) {
   const auto manifest = small_default_manifest();
   std::vector<BatchReport> reports;
   for (const int threads : {1, 2, 8}) {
-    BatchOptions options;
-    options.num_threads = threads;
-    options.keep_colors = true;
-    reports.push_back(BatchSolver(options).run(manifest));
+    ExecConfig config;
+    config.workers = threads;
+    reports.push_back(BatchSolver(config, /*keep_colors=*/true).run(manifest));
     EXPECT_EQ(reports.back().num_threads, threads);
   }
   const BatchReport& base = reports.front();
@@ -39,10 +38,10 @@ TEST(BatchSolver, DeterministicAcrossWorkerCounts) {
 }
 
 TEST(BatchSolver, EveryColoringValidates) {
-  BatchOptions options;
-  options.num_threads = 4;
-  options.keep_colors = true;
-  const BatchReport report = BatchSolver(options).run(small_default_manifest());
+  ExecConfig config;
+  config.workers = 4;
+  const BatchReport report =
+      BatchSolver(config, /*keep_colors=*/true).run(small_default_manifest());
   for (const ScenarioResult& r : report.results) {
     EXPECT_TRUE(r.valid) << r.scenario.name();
     // Re-validate independently of the runtime's own check.

@@ -194,13 +194,13 @@ TEST(SharedPool, LeasedExecutionBitIdenticalToOwnedAndSerial) {
     const ListEdgeColoringInstance instance = build_instance(scenario);
     const SolveResult serial = Solver(make_policy(scenario.policy)).solve(instance);
 
-    ExecOptions owned;
+    ExecConfig owned;
     owned.shards = 4;
     owned.min_sharded_edges = 0;
     const SolveResult with_owned =
         Solver(make_policy(scenario.policy), owned).solve(instance);
 
-    ExecOptions leased = owned;
+    ExecConfig leased = owned;
     leased.shared_pool = &pool;
     const SolveResult with_lease =
         Solver(make_policy(scenario.policy), leased).solve(instance);
@@ -231,7 +231,7 @@ TEST(SharedPool, ConcurrentLeasesStayIndependentAndDeterministic) {
   threads.reserve(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     threads.emplace_back([&, i] {
-      ExecOptions exec;
+      ExecConfig exec;
       exec.shards = 3;
       exec.min_sharded_edges = 0;
       exec.shared_pool = &pool;
@@ -251,20 +251,20 @@ TEST(SharedPool, ConcurrentLeasesStayIndependentAndDeterministic) {
 // and a caller-provided lease both reproduce the serial batch bit for bit.
 TEST(SharedPool, BatchSolverLeaseBitIdenticalToSerialBatch) {
   const auto manifest = smoke_scenarios();
-  BatchOptions serial_options;
-  serial_options.num_threads = 2;
-  serial_options.keep_colors = true;
-  const BatchReport serial = BatchSolver(serial_options).run(manifest);
+  ExecConfig serial_config;
+  serial_config.workers = 2;
+  const BatchReport serial = BatchSolver(serial_config, /*keep_colors=*/true).run(manifest);
 
-  BatchOptions internal_lease = serial_options;
-  internal_lease.exec.shards = 4;
-  internal_lease.exec.min_sharded_edges = 0;
-  const BatchReport internal = BatchSolver(internal_lease).run(manifest);
+  ExecConfig internal_lease = serial_config;
+  internal_lease.shards = 4;
+  internal_lease.min_sharded_edges = 0;
+  const BatchReport internal =
+      BatchSolver(internal_lease, /*keep_colors=*/true).run(manifest);
 
   ThreadPool pool(4);
-  BatchOptions caller_lease = internal_lease;
-  caller_lease.exec.shared_pool = &pool;
-  const BatchReport caller = BatchSolver(caller_lease).run(manifest);
+  ExecConfig caller_lease = internal_lease;
+  caller_lease.shared_pool = &pool;
+  const BatchReport caller = BatchSolver(caller_lease, /*keep_colors=*/true).run(manifest);
 
   ASSERT_EQ(serial.results.size(), internal.results.size());
   ASSERT_EQ(serial.results.size(), caller.results.size());

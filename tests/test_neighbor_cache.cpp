@@ -52,14 +52,14 @@ TEST(NeighborCache, CachedSolveBitIdenticalToUncachedAcrossSmokeAndShards) {
   for (const Scenario& scenario : smoke_scenarios()) {
     const ListEdgeColoringInstance instance = build_instance(scenario);
 
-    ExecOptions uncached_serial;
+    ExecConfig uncached_serial;
     uncached_serial.use_neighbor_cache = false;
     const SolveResult reference =
         Solver(make_policy(scenario.policy), uncached_serial).solve(instance);
 
     for (const int shards : kShardCounts) {
       for (const bool cached : {true, false}) {
-        ExecOptions exec;
+        ExecConfig exec;
         exec.shards = shards;
         exec.min_sharded_edges = 0;
         exec.shared_pool = shards > 1 ? &pool : nullptr;
@@ -82,7 +82,7 @@ TEST(NeighborCache, TelemetryIsShardCountInvariant) {
     const ListEdgeColoringInstance instance = build_instance(scenario);
     std::int64_t deltas = -1, scattered = -1;
     for (const int shards : kShardCounts) {
-      ExecOptions exec;
+      ExecConfig exec;
       exec.shards = shards;
       exec.min_sharded_edges = 0;
       exec.shared_pool = shards > 1 ? &pool : nullptr;
@@ -267,12 +267,12 @@ TEST(NeighborCache, HubHeavyGraphsFailTheMaterializationBudget) {
 // reproduces the cached batch fingerprint.
 TEST(NeighborCache, BatchSolverCacheToggleKeepsFingerprints) {
   const auto manifest = smoke_scenarios();
-  BatchOptions cached;
-  cached.num_threads = 2;
+  ExecConfig cached;
+  cached.workers = 2;
   const BatchReport with_cache = BatchSolver(cached).run(manifest);
 
-  BatchOptions uncached = cached;
-  uncached.exec.use_neighbor_cache = false;
+  ExecConfig uncached = cached;
+  uncached.use_neighbor_cache = false;
   const BatchReport without_cache = BatchSolver(uncached).run(manifest);
 
   ASSERT_EQ(with_cache.results.size(), without_cache.results.size());

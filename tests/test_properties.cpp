@@ -213,8 +213,8 @@ TEST(PropertyFuzz, CacheOnOffBitIdenticalAcrossRandomGraphSweep) {
       if (instance.graph.num_edges() == 0) continue;
       ++swept;
 
-      ExecOptions cached;  // default: cache on
-      ExecOptions uncached;
+      ExecConfig cached;  // default: cache on
+      ExecConfig uncached;
       uncached.use_neighbor_cache = false;
       const SolveResult with_cache =
           Solver(Policy::practical(), cached).solve(instance);
@@ -234,6 +234,61 @@ TEST(PropertyFuzz, CacheOnOffBitIdenticalAcrossRandomGraphSweep) {
     }
   }
   EXPECT_GE(swept, 25);  // the sweep must not silently degenerate
+}
+
+// The round-loop schedule sweep: superstep fusion on/off x validation tier
+// {off, sampled, every_round} must leave every fingerprint — colors, rounds,
+// raw rounds, the full ledger report — bit-identical to the reference
+// schedule (unfused, every_round) on a seeded random-graph sweep.  The
+// schedule knobs only reorganize sweeps and skip pure-assert walks; nothing
+// an edge observes may change.
+TEST(PropertyFuzz, FusionAndValidationTierBitIdenticalAcrossRandomSweep) {
+  struct Case {
+    GraphFamily family;
+    int size;
+    int aux;
+  };
+  const Case cases[] = {
+      {GraphFamily::kGnp, 36, 0},
+      {GraphFamily::kRegular, 40, 6},
+      {GraphFamily::kPowerLaw, 60, 10},
+  };
+  int swept = 0;
+  for (const Case& c : cases) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Scenario scenario{c.family, c.size,
+                              seed % 2 ? ListFlavor::kTwoDelta
+                                       : ListFlavor::kRandomDegPlusOne,
+                              PolicyKind::kPractical, seed, c.aux};
+      const ListEdgeColoringInstance instance = build_instance(scenario);
+      if (instance.graph.num_edges() == 0) continue;
+      ++swept;
+
+      ExecConfig reference_config;
+      reference_config.fuse_supersteps = false;
+      reference_config.validation_tier = ValidationTier::kEveryRound;
+      const SolveResult reference =
+          Solver(Policy::practical(), reference_config).solve(instance);
+
+      for (const bool fuse : {true, false}) {
+        for (const ValidationTier tier :
+             {ValidationTier::kOff, ValidationTier::kSampled,
+              ValidationTier::kEveryRound}) {
+          ExecConfig config;
+          config.fuse_supersteps = fuse;
+          config.validation_tier = tier;
+          const SolveResult res = Solver(Policy::practical(), config).solve(instance);
+          const std::string tag = scenario.name() + (fuse ? " fused" : " split") +
+                                  " tier=" + validation_tier_name(tier);
+          EXPECT_EQ(res.colors, reference.colors) << tag;
+          EXPECT_EQ(res.rounds, reference.rounds) << tag;
+          EXPECT_EQ(res.raw_rounds, reference.raw_rounds) << tag;
+          EXPECT_EQ(res.round_report, reference.round_report) << tag;
+        }
+      }
+    }
+  }
+  EXPECT_GE(swept, 8);  // the sweep must not silently degenerate
 }
 
 // The batched incremental class sweep (delta-fed forbidden sets, small

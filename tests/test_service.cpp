@@ -35,7 +35,7 @@ namespace qplec {
 namespace {
 
 /// Direct-Solver reference for a scenario (the path the service must match).
-SolveResult direct_solve(const Scenario& scenario, const ExecOptions& exec = {}) {
+SolveResult direct_solve(const Scenario& scenario, const ExecConfig& exec = {}) {
   const ListEdgeColoringInstance instance = build_instance(scenario);
   return Solver(make_policy(scenario.policy), exec).solve(instance);
 }
@@ -225,6 +225,39 @@ TEST(SolveServiceDeadline, MidSolveDeadlineStopsAtRoundBoundary) {
           }));
   EXPECT_EQ(out.status, SolveStatus::kDeadlineExceeded);
   EXPECT_GT(out.num_edges, 0);  // it was in flight when the budget ran out
+}
+
+TEST(SolveServiceDeadline, QueuedJobExpiresEagerlyWhileWorkerIsBusy) {
+  // The regression this pins: a queued ticket whose deadline passes used to
+  // be noticed only when a worker finally popped it — wait() blocked behind
+  // every job ahead in the queue.  The deadline sweeper must resolve it
+  // kDeadlineExceeded while the only worker is still provably busy.
+  ExecConfig config;
+  config.workers = 1;  // the blocker occupies the only worker
+  SolveService service(config);
+
+  BlockerGate gate;
+  const Scenario blocker_scenario{GraphFamily::kRegular, 60, ListFlavor::kTwoDelta,
+                                  PolicyKind::kPractical, 42, 6};
+  const SolveTicket blocker = service.submit(
+      SolveRequest::from_scenario(blocker_scenario).on_round(gate.callback()));
+  gate.wait_entered();  // the worker is now provably busy
+
+  const Scenario victim_scenario{GraphFamily::kComplete, 12, ListFlavor::kTwoDelta,
+                                 PolicyKind::kPractical, 42, 0};
+  const SolveTicket victim = service.submit(
+      SolveRequest::from_scenario(victim_scenario).deadline_ms(20.0));
+  // wait() must return via the sweeper — the blocker is still parked, so a
+  // pop-time-only check would deadlock this line until gate.release().
+  const SolveOutcome& out = victim.wait();
+  EXPECT_EQ(out.status, SolveStatus::kDeadlineExceeded);
+  EXPECT_NE(out.error.find("while queued"), std::string::npos) << out.error;
+  EXPECT_GE(out.queue_ms, 20.0);  // it sat in the queue at least the budget
+  EXPECT_EQ(out.num_edges, 0);    // no work was ever done for it
+  EXPECT_EQ(out.solve_ms, 0.0);
+
+  gate.release();
+  EXPECT_EQ(blocker.wait().status, SolveStatus::kOk);
 }
 
 TEST(SolveServicePriority, HigherPriorityRunsFirstOnOneWorker) {

@@ -202,7 +202,7 @@ TEST(ShardedSolver, SmokeManifestBitIdenticalAcrossShardCounts) {
     const ListEdgeColoringInstance instance = build_instance(scenario);
     const SolveResult serial = Solver(make_policy(scenario.policy)).solve(instance);
     for (const int shards : {1, 2, 7}) {
-      ExecOptions exec;
+      ExecConfig exec;
       exec.shards = shards;
       exec.min_sharded_edges = 0;  // force the sharded path on tiny graphs
       const SolveResult res = Solver(make_policy(scenario.policy), exec).solve(instance);
@@ -222,15 +222,15 @@ TEST(ShardedSolver, SmokeManifestBitIdenticalAcrossShardCounts) {
 
 TEST(ShardedSolver, BatchRoutingPreservesResults) {
   const auto manifest = smoke_scenarios();
-  BatchOptions serial_options;
-  serial_options.num_threads = 2;
-  serial_options.keep_colors = true;
-  const BatchReport serial = BatchSolver(serial_options).run(manifest);
+  ExecConfig serial_config;
+  serial_config.workers = 2;
+  const BatchReport serial = BatchSolver(serial_config, /*keep_colors=*/true).run(manifest);
 
-  BatchOptions sharded_options = serial_options;
-  sharded_options.exec.shards = 4;
-  sharded_options.exec.min_sharded_edges = 0;
-  const BatchReport sharded = BatchSolver(sharded_options).run(manifest);
+  ExecConfig sharded_config = serial_config;
+  sharded_config.shards = 4;
+  sharded_config.min_sharded_edges = 0;
+  const BatchReport sharded =
+      BatchSolver(sharded_config, /*keep_colors=*/true).run(manifest);
 
   ASSERT_EQ(serial.results.size(), sharded.results.size());
   for (std::size_t i = 0; i < serial.results.size(); ++i) {

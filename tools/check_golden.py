@@ -19,6 +19,14 @@ Usage:
         # ratio; with --write the ratio is stored in the golden as the
         # informational ``cache_speedup`` field (wall time — never compared
         # by the gate, re-measured at every re-baseline).
+    check_golden.py REPORT GOLDEN --profile-summary
+        # additionally print each scenario's unified ``stats`` block (the
+        # SolverStats surface every producer emits verbatim via
+        # solver_stats_json: pass counters, cache telemetry, and the
+        # round-loop ``profile`` — supersteps, fused sweeps saved,
+        # validation walks run/skipped).  Informational only: the counters
+        # are schedule-dependent by design (fusion/tier change them while
+        # the fingerprint stays pinned), so they are never gated.
 
 The golden file stores only the fingerprint fields (plus the informational
 cache ratio), so re-baselining after an intentional algorithm change
@@ -59,6 +67,12 @@ def main():
         "and the cached-vs-uncached solve-time ratio is reported (stored as "
         "the informational cache_speedup field with --write)",
     )
+    parser.add_argument(
+        "--profile-summary",
+        action="store_true",
+        help="print each scenario's unified stats block (round-loop profile, "
+        "cache telemetry) from the report — informational, never gated",
+    )
     args = parser.parse_args()
 
     with open(args.report) as f:
@@ -70,6 +84,23 @@ def main():
         return 1
 
     actual = fingerprint(report)
+
+    if args.profile_summary:
+        print(f"profile summary for {args.report}:")
+        for s in report["scenarios"]:
+            stats = s.get("stats")
+            if stats is None:
+                print(f"  {s['name']}: no stats block (pre-unification report?)")
+                continue
+            profile = stats.get("profile", {})
+            print(
+                f"  {s['name']}: supersteps={profile.get('supersteps')} "
+                f"fused_sweeps_saved={profile.get('fused_sweeps_saved')} "
+                f"validation_walks={profile.get('validation_walks_run')}/"
+                f"{profile.get('validation_walks_skipped')} skipped, "
+                f"cache_deltas={stats.get('cache_deltas')} "
+                f"basecase_calls={stats.get('basecase_calls')}"
+            )
 
     cache_speedup = None
     uncached_actual = None
