@@ -3,9 +3,10 @@
 //   usage: bench_service [--nodes N] [--degree D] [--repeats R]
 //                        [--sweep-repeats K] [--shards S]
 //                        [--out BENCH_service.json] [--max-cancel-rounds X]
+//                        [--max-overhead-pct P]
 //                        [--smoke MANIFEST --smoke-out FILE]
 //
-// Two experiments, reported into BENCH_service.json:
+// Three experiments, reported into BENCH_service.json:
 //   * Submission throughput: the small default manifest, K copies, submitted
 //     through one service — jobs/sec end to end, plus the mean/max
 //     submission->start wait (queue_ms).  Every repeated copy of a scenario
@@ -21,6 +22,14 @@
 //     LOCAL-model charges — thousands land per simulation pass, so the mean
 //     charge-round is meaningless as a latency unit; the longest
 //     uncancellable stretch is the real bound cancellation can hit).
+//   * Metrics overhead: the same stressor solved with ExecConfig::metrics on
+//     and off (best-of-R solve_ms each, after a warmup).  The fingerprints
+//     must match bit for bit — the telemetry spine is observers only — and
+//     --max-overhead-pct P gates the on/off wall-time delta (exit 1 when
+//     metrics-on costs more than P percent; CI uses 3).
+// The submission sweep also snapshots the service's queue/solve latency
+// histograms (SolveService::metrics_snapshot) and reports p50/p95/p99 into
+// BENCH_service.json.
 // --max-cancel-rounds X turns the latency experiment into a gate: exit 1
 // unless every cancel returned within X times that longest checkpoint gap
 // (the acceptance bar is "within one round"; CI allows modest scheduling
@@ -55,8 +64,21 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_service [--nodes N] [--degree D] [--repeats R] "
                "[--sweep-repeats K] [--shards S] [--out BENCH_service.json] "
-               "[--max-cancel-rounds X] [--smoke MANIFEST --smoke-out FILE]\n");
+               "[--max-cancel-rounds X] [--max-overhead-pct P] "
+               "[--smoke MANIFEST --smoke-out FILE]\n");
   return 2;
+}
+
+/// One histogram snapshot as a JSON object fragment (percentiles via
+/// HistogramSnapshot::quantile — the registry's cumulative-rank estimate).
+std::string histogram_json(const qplec::obs::HistogramSnapshot& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean\": %.4f, \"p50\": %.4f, "
+                "\"p95\": %.4f, \"p99\": %.4f, \"max\": %.4f}",
+                static_cast<unsigned long long>(h.count), h.mean(), h.p50(),
+                h.p95(), h.p99(), h.max);
+  return buf;
 }
 
 double ms_since(std::chrono::steady_clock::time_point start) {
@@ -208,6 +230,7 @@ int main(int argc, char** argv) {
   int sweep_repeats = 3;
   int shards = 1;
   double max_cancel_rounds = 0.0;  // 0: informational only
+  double max_overhead_pct = 0.0;   // 0: informational only
   std::string out_path = "BENCH_service.json";
   std::string smoke_manifest;
   std::string smoke_out = "BENCH_smoke_service.json";
@@ -225,6 +248,8 @@ int main(int argc, char** argv) {
       shards = std::atoi(argv[++i]);
     } else if (arg == "--max-cancel-rounds" && i + 1 < argc) {
       max_cancel_rounds = std::atof(argv[++i]);
+    } else if (arg == "--max-overhead-pct" && i + 1 < argc) {
+      max_overhead_pct = std::atof(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--smoke" && i + 1 < argc) {
@@ -246,6 +271,7 @@ int main(int argc, char** argv) {
   const std::vector<Scenario> base = small_default_manifest();
   double enqueue_ms = 0.0, sweep_wall_ms = 0.0, mean_queue_ms = 0.0, max_queue_ms = 0.0;
   std::size_t jobs = 0;
+  ServiceMetricsSnapshot sweep_metrics;
   {
     SolveService service(ExecConfig{});  // hardware workers, serial solves
     std::vector<SolveTicket> tickets;
@@ -274,6 +300,7 @@ int main(int argc, char** argv) {
     }
     sweep_wall_ms = ms_since(sweep_start);
     mean_queue_ms /= static_cast<double>(jobs);
+    sweep_metrics = service.metrics_snapshot();
   }
   const double jobs_per_sec =
       sweep_wall_ms > 0 ? static_cast<double>(jobs) / (sweep_wall_ms / 1000.0) : 0.0;
@@ -355,6 +382,56 @@ int main(int argc, char** argv) {
                 latency, round_wall_ms > 0 ? latency / round_wall_ms : 0.0);
   }
 
+  // --- Metrics overhead: the stressor with ExecConfig::metrics on vs off. --
+  // Observers only: fingerprints must match bit for bit (exit 3 otherwise);
+  // the wall-time delta is the cost of armed counters/histograms.
+  const int overhead_repeats = std::max(2, repeats);
+  std::uint64_t on_hash = 0, off_hash = 0;
+  std::int64_t on_rounds = 0, off_rounds = 0;
+  double on_best_ms = 0.0, off_best_ms = 0.0;
+  bool overhead_ok = true;
+  const auto overhead_leg = [&](bool metrics_on, std::uint64_t* hash,
+                                std::int64_t* rounds_out) {
+    ExecConfig oc = config;
+    oc.metrics = metrics_on;
+    double best = 0.0;
+    for (int r = 0; r <= overhead_repeats; ++r) {  // r == 0 is the warmup
+      SolveService service(oc);
+      const SolveOutcome out =
+          service.solve(SolveRequest::from_scenario(stressor).discard_colors());
+      if (!out.ok()) {
+        std::fprintf(stderr, "overhead leg solve failed: %s\n", out.error.c_str());
+        overhead_ok = false;
+        return 0.0;
+      }
+      *hash = out.colors_hash;
+      *rounds_out = out.result.rounds;
+      if (r > 0 && (best == 0.0 || out.solve_ms < best)) best = out.solve_ms;
+    }
+    return best;
+  };
+  on_best_ms = overhead_leg(true, &on_hash, &on_rounds);
+  off_best_ms = overhead_leg(false, &off_hash, &off_rounds);
+  if (overhead_ok && (on_hash != off_hash || on_rounds != off_rounds)) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: metrics-on fingerprint (%llx, %lld) != "
+                 "metrics-off (%llx, %lld)\n",
+                 static_cast<unsigned long long>(on_hash),
+                 static_cast<long long>(on_rounds),
+                 static_cast<unsigned long long>(off_hash),
+                 static_cast<long long>(off_rounds));
+    deterministic = false;
+  }
+  const double overhead_pct =
+      off_best_ms > 0 ? (on_best_ms - off_best_ms) / off_best_ms * 100.0 : 0.0;
+  bench::Table overhead_table(
+      {"metrics on ms", "metrics off ms", "overhead %", "fingerprints"});
+  overhead_table.row({bench::fmt(on_best_ms, 3), bench::fmt(off_best_ms, 3),
+                      bench::fmt(overhead_pct, 2),
+                      on_hash == off_hash && on_rounds == off_rounds ? "match"
+                                                                    : "DIVERGED"});
+  overhead_table.print();
+
   bench::Table cancel_table({"graph", "edges", "ref wall ms", "ref rounds",
                              "round wall ms", "max cancel ms", "in rounds"});
   cancel_table.row({"regular-" + std::to_string(nodes) + "x" + std::to_string(degree),
@@ -381,11 +458,23 @@ int main(int argc, char** argv) {
       << ", \"round_wall_ms\": " << round_wall_ms << ",\n    \"repeats\": " << repeats
       << ", \"max_cancel_latency_ms\": " << max_latency_ms << ", \"latency_rounds\": "
       << (round_wall_ms > 0 ? max_latency_ms / round_wall_ms : 0.0) << "},\n";
+  out << "  \"latency\": {\"queue_ms\": " << histogram_json(sweep_metrics.queue_latency_ms)
+      << ",\n    \"solve_ms\": " << histogram_json(sweep_metrics.solve_latency_ms) << "},\n";
+  out << "  \"metrics_overhead\": {\"repeats\": " << overhead_repeats
+      << ", \"on_best_ms\": " << on_best_ms << ", \"off_best_ms\": " << off_best_ms
+      << ",\n    \"overhead_pct\": " << overhead_pct << ", \"fingerprints_match\": "
+      << (on_hash == off_hash && on_rounds == off_rounds ? "true" : "false") << "},\n";
   out << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n}\n";
   out.close();
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!deterministic) return 3;
+  if (!overhead_ok) return 1;
+  if (max_overhead_pct > 0 && overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr, "METRICS OVERHEAD GATE MISSED: %.2f%% > %.2f%%\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
   if (max_cancel_rounds > 0 && round_wall_ms > 0 &&
       max_latency_ms > max_cancel_rounds * round_wall_ms) {
     std::fprintf(stderr,

@@ -4,6 +4,7 @@
 //                      [--seed N] [--quiet] [--shards N] [--sharded-min-edges M]
 //                      [--no-neighbor-cache] [--no-fuse-supersteps]
 //                      [--validation-tier off|sampled|every_round] [--stressors]
+//                      [--metrics-dump metrics.prom]
 //
 // Without --manifest, runs the default sweep (every solver-test scenario
 // plus larger regulars — see default_manifest).  Prints a per-scenario table
@@ -27,7 +28,9 @@
 // the manifest.  NOTE: scenarios go through build_instance — scrambled
 // LOCAL ids, --seed honored — so their fingerprints intentionally differ
 // from the benches' raw fixed-seed stressor graphs; the shared constants
-// align the workload SHAPE, not the exact instance.
+// align the workload SHAPE, not the exact instance.  --metrics-dump writes
+// the process-wide MetricsRegistry (service queue/latency series, pool lane
+// time, engine cache counters) in Prometheus text format after the batch.
 //
 // Manifest format, one scenario per line ('#' comments):
 //   <family> <size> <flavor> <policy> [seed [aux]]
@@ -39,6 +42,7 @@
 #include <string>
 
 #include "bench/support.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/runtime/batch_solver.hpp"
 #include "src/runtime/reporter.hpp"
 #include "src/runtime/scenarios.hpp"
@@ -51,7 +55,8 @@ int usage() {
                "[--out BENCH_batch.json] [--seed N] [--quiet] "
                "[--shards N] [--sharded-min-edges M] [--no-neighbor-cache] "
                "[--no-fuse-supersteps] "
-               "[--validation-tier off|sampled|every_round] [--stressors]\n");
+               "[--validation-tier off|sampled|every_round] [--stressors] "
+               "[--metrics-dump metrics.prom]\n");
   return 2;
 }
 
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
   ValidationTier validation_tier = default_validation_tier();
   bool stressors = false;
   bool quiet = false;
+  std::string metrics_dump;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -114,6 +120,8 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--metrics-dump" && i + 1 < argc) {
+      metrics_dump = argv[++i];
     } else if (arg == "--stressors") {
       stressors = true;
     } else if (arg == "--quiet") {
@@ -161,6 +169,12 @@ int main(int argc, char** argv) {
     report = batch.run(manifest);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "batch failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (!metrics_dump.empty() &&
+      !obs::MetricsRegistry::global().write_prometheus_file(metrics_dump)) {
+    std::fprintf(stderr, "cannot write metrics %s\n", metrics_dump.c_str());
     return 1;
   }
 

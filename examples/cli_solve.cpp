@@ -5,6 +5,7 @@
 //                    [--no-neighbor-cache] [--no-fuse-supersteps]
 //                    [--validation-tier off|sampled|every_round]
 //                    [--deadline-ms X] [--json] [--serial-compat]
+//                    [--metrics-dump metrics.prom] [--trace trace.json]
 //                    [--verbose] [graph.txt]
 //
 // Input format (stdin if no file): "n m" header plus "u v" lines, or DIMACS
@@ -30,6 +31,11 @@
 // ExecConfig knobs of src/common/exec_config.hpp).  --json embeds the full
 // SolverStats, RoundProfile included, as a "stats" sub-object.  --verbose
 // adds wall time, per-round wall time and the ledger's phase breakdown.
+//
+// Observability (src/obs): --metrics-dump writes the process-wide
+// MetricsRegistry in Prometheus text format after the run; --trace records
+// the solve lifecycle (queue/build/solve plus every engine pass span) and
+// writes Chrome trace_event JSON — open it in chrome://tracing.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +48,8 @@
 #include "src/coloring/validate.hpp"
 #include "src/core/solver.hpp"
 #include "src/graph/io.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/batch_solver.hpp"
 #include "src/runtime/reporter.hpp"
 #include "src/service/solve_service.hpp"
@@ -54,7 +62,8 @@ int usage() {
                "[--seed N] [--list-palette C] [--shards N] [--threads N] "
                "[--no-neighbor-cache] [--no-fuse-supersteps] "
                "[--validation-tier off|sampled|every_round] [--deadline-ms X] "
-               "[--json] [--serial-compat] [--verbose] [graph.txt]\n");
+               "[--json] [--serial-compat] [--metrics-dump metrics.prom] "
+               "[--trace trace.json] [--verbose] [graph.txt]\n");
   return 2;
 }
 
@@ -138,6 +147,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool serial_compat = false;
   bool verbose = false;
+  std::string metrics_dump;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--algorithm" && i + 1 < argc) {
@@ -167,6 +178,10 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--metrics-dump" && i + 1 < argc) {
+      metrics_dump = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--serial-compat") {
@@ -189,7 +204,28 @@ int main(int argc, char** argv) {
   config.use_neighbor_cache = neighbor_cache;
   config.fuse_supersteps = fuse_supersteps;
   config.validation_tier = validation_tier;
+  config.trace_path = trace_path;
   if (shards > 1) config.min_sharded_edges = 0;  // --shards means shard it
+
+  // The service lifecycle owns the trace session when a service runs; the
+  // direct paths (--serial-compat, baselines) open and export it here.
+  const bool service_owns_trace =
+      algorithm == "bko" && !serial_compat && !trace_path.empty();
+  if (!trace_path.empty() && !service_owns_trace) {
+    trace::start(config.trace_ring_capacity);
+  }
+  const auto finish_observability = [&] {
+    if (!trace_path.empty() && !service_owns_trace) {
+      trace::stop();
+      if (!trace::write_chrome_json(trace_path)) {
+        std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      }
+    }
+    if (!metrics_dump.empty() &&
+        !obs::MetricsRegistry::global().write_prometheus_file(metrics_dump)) {
+      std::fprintf(stderr, "cannot write metrics %s\n", metrics_dump.c_str());
+    }
+  };
 
   const bool service_file_source =
       algorithm == "bko" && !serial_compat && json && !path.empty();
@@ -205,11 +241,15 @@ int main(int argc, char** argv) {
   // scramble, build, solve) — parse errors come back as an outcome, and the
   // edge lines are replaced by the JSON record anyway.
   if (service_file_source) {
-    SolveService service(config);
-    SolveRequest request = SolveRequest::from_dimacs(path).scramble_ids(seed).label(path);
-    if (list_palette > 0) request.random_lists(list_palette, seed + 1);
-    if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
-    const SolveOutcome out = service.solve(std::move(request));
+    SolveOutcome out;
+    {
+      SolveService service(config);
+      SolveRequest request = SolveRequest::from_dimacs(path).scramble_ids(seed).label(path);
+      if (list_palette > 0) request.random_lists(list_palette, seed + 1);
+      if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
+      out = service.solve(std::move(request));
+    }  // service teardown exports the trace before the metrics dump below
+    finish_observability();
     print_json(out, algorithm, out.result.initial_rounds, wall_ms());
     if (verbose && !out.result.round_report.empty()) {
       std::fprintf(stderr, "%s", out.result.round_report.c_str());
@@ -266,10 +306,12 @@ int main(int argc, char** argv) {
   const auto solve_start = std::chrono::steady_clock::now();
   try {
     if (algorithm == "bko" && !serial_compat) {
-      SolveService service(config);
-      SolveRequest request = SolveRequest::from_instance(instance).label("cli_solve");
-      if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
-      out = service.solve(std::move(request));
+      {
+        SolveService service(config);
+        SolveRequest request = SolveRequest::from_instance(instance).label("cli_solve");
+        if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
+        out = service.solve(std::move(request));
+      }  // teardown exports the trace
     } else if (algorithm == "bko") {
       // --serial-compat: the direct, throwing Solver path (the reference the
       // service's differential tests pin against).
@@ -315,6 +357,7 @@ int main(int argc, char** argv) {
                        std::chrono::steady_clock::now() - solve_start)
                        .count();
   }
+  finish_observability();
 
   if (json) {
     print_json(out, algorithm, out.result.initial_rounds, wall_ms());

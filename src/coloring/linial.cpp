@@ -6,37 +6,64 @@
 #include "src/common/field.hpp"
 #include "src/common/math.hpp"
 #include "src/coloring/validate.hpp"
+#include "src/obs/trace.hpp"
 
 namespace qplec {
 
-LinialParams choose_linial_params(std::uint64_t palette, int degree_bound) {
-  QPLEC_REQUIRE(palette >= 1);
-  QPLEC_REQUIRE(degree_bound >= 0);
-  const int d = std::max(1, degree_bound);
-  LinialParams best{0, 0};
-  std::uint64_t best_out = palette;  // must strictly improve on the input
-  for (int k = 1; k <= 63; ++k) {
-    // Smallest q for this k: q^(k+1) >= palette and q >= d*k + 1.
-    const std::uint64_t dk = static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(k) + 1;
-    const std::uint64_t lo = std::max(dk, nth_root_ceil(palette, k + 1));
-    const std::uint64_t q = next_prime(std::max<std::uint64_t>(2, lo));
-    if (q >= (1ull << 31)) continue;  // GFPoly limit; larger k will shrink q
-    const std::uint64_t out = q * q;
-    if (out < best_out) {
-      best_out = out;
-      best = LinialParams{static_cast<std::uint32_t>(q), k};
-    }
-    // Once d*k+1 alone exceeds the best output's square root, no larger k
-    // can help.
-    if (dk * dk >= best_out) break;
+namespace {
+
+/// Per-reduce memo of everything linial_reduce's iterations recompute
+/// identically: the active set, each active item's polynomial-table slot,
+/// and its neighbor row.  The up-to-64 steps of one reduce run over a FIXED
+/// active set in a fixed enumeration order, so the for_each_neighbor walks —
+/// a std::function-indirected scan over the FULL incident lists, filtering
+/// by subset membership (the PR 4 carry-over) — are paid once here and
+/// replayed as flat CSR rows by every subsequent step.
+struct LinialMemo {
+  std::vector<int> poly_index;        ///< item -> polynomial slot (-1 inactive)
+  std::vector<std::int64_t> offsets;  ///< item -> row bounds in nbr_items
+  std::vector<int> nbr_items;         ///< neighbor ids, enumeration order
+};
+
+LinialMemo build_linial_memo(const ConflictView& view, const ExecBackend& ex) {
+  const trace::Span span("linial-memo", "engine");
+  LinialMemo memo;
+  const int n = view.num_items();
+  memo.poly_index.assign(static_cast<std::size_t>(n), -1);
+  int slots = 0;
+  for (int i = 0; i < n; ++i) {
+    if (view.active(i)) memo.poly_index[static_cast<std::size_t>(i)] = slots++;
   }
-  return best;
+  // Degree pass, serial prefix sum, fill pass: each item writes only its own
+  // count/row, so the rows are identical for any backend and lane count.
+  memo.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  ex.for_indices(n, [&](int, int i) {
+    if (memo.poly_index[static_cast<std::size_t>(i)] < 0) return;
+    std::int64_t d = 0;
+    view.for_each_neighbor(i, [&](int) { ++d; });
+    memo.offsets[static_cast<std::size_t>(i) + 1] = d;
+  });
+  for (int i = 0; i < n; ++i) {
+    memo.offsets[static_cast<std::size_t>(i) + 1] += memo.offsets[static_cast<std::size_t>(i)];
+  }
+  memo.nbr_items.resize(static_cast<std::size_t>(memo.offsets[static_cast<std::size_t>(n)]));
+  ex.for_indices(n, [&](int, int i) {
+    if (memo.poly_index[static_cast<std::size_t>(i)] < 0) return;
+    std::int64_t pos = memo.offsets[static_cast<std::size_t>(i)];
+    view.for_each_neighbor(i, [&](int f) {
+      memo.nbr_items[static_cast<std::size_t>(pos++)] = f;
+    });
+  });
+  return memo;
 }
 
-std::vector<std::uint64_t> linial_step(const ConflictView& view,
-                                       const std::vector<std::uint64_t>& colors,
-                                       LinialParams params, const ExecBackend* exec) {
-  const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
+/// One reduction step.  `memo` (optional) replays the active set and
+/// neighbor rows instead of re-deriving them from the view; results are
+/// bit-identical either way (same slots, same enumeration order).
+std::vector<std::uint64_t> linial_step_impl(const ConflictView& view,
+                                            const std::vector<std::uint64_t>& colors,
+                                            LinialParams params, const ExecBackend& ex,
+                                            const LinialMemo* memo) {
   const std::uint32_t q = params.q;
   const int k = params.k;
   QPLEC_REQUIRE(q >= 2);
@@ -45,12 +72,22 @@ std::vector<std::uint64_t> linial_step(const ConflictView& view,
   // O(active * k) and stays serial; the eval scan below is the hot part).
   std::vector<GFPoly> polys;
   polys.reserve(static_cast<std::size_t>(view.num_active()));
-  std::vector<int> poly_index(static_cast<std::size_t>(view.num_items()), -1);
-  for (int i = 0; i < view.num_items(); ++i) {
-    if (!view.active(i)) continue;
-    poly_index[static_cast<std::size_t>(i)] = static_cast<int>(polys.size());
-    polys.push_back(GFPoly::from_integer(colors[static_cast<std::size_t>(i)], q, k));
+  std::vector<int> local_index;
+  if (memo == nullptr) {
+    local_index.assign(static_cast<std::size_t>(view.num_items()), -1);
+    for (int i = 0; i < view.num_items(); ++i) {
+      if (!view.active(i)) continue;
+      local_index[static_cast<std::size_t>(i)] = static_cast<int>(polys.size());
+      polys.push_back(GFPoly::from_integer(colors[static_cast<std::size_t>(i)], q, k));
+    }
+  } else {
+    // The memo's slot order is the same increasing-id order.
+    for (int i = 0; i < view.num_items(); ++i) {
+      if (memo->poly_index[static_cast<std::size_t>(i)] < 0) continue;
+      polys.push_back(GFPoly::from_integer(colors[static_cast<std::size_t>(i)], q, k));
+    }
   }
+  const std::vector<int>& poly_index = memo != nullptr ? memo->poly_index : local_index;
 
   // Inactive items keep their previous colors untouched.  Each active item
   // reads the committed previous-round colors/polynomials of its neighbors
@@ -60,16 +97,24 @@ std::vector<std::uint64_t> linial_step(const ConflictView& view,
   std::vector<std::uint64_t> next = colors;
   LaneScratch<std::vector<const GFPoly*>> nbr_scratch(ex.lanes());
   ex.for_indices(view.num_items(), [&](int lane, int i) {
-    if (!view.active(i)) return;
-    const GFPoly& mine =
-        polys[static_cast<std::size_t>(poly_index[static_cast<std::size_t>(i)])];
+    const int slot = poly_index[static_cast<std::size_t>(i)];
+    if (slot < 0) return;
+    const GFPoly& mine = polys[static_cast<std::size_t>(slot)];
     std::vector<const GFPoly*>& nbrs = nbr_scratch.lane(lane);
     nbrs.clear();
-    view.for_each_neighbor(i, [&](int f) {
+    const auto gather = [&](int f) {
       QPLEC_ASSERT_MSG(colors[static_cast<std::size_t>(f)] != colors[static_cast<std::size_t>(i)],
                        "linial_step requires a proper input coloring");
       nbrs.push_back(&polys[static_cast<std::size_t>(poly_index[static_cast<std::size_t>(f)])]);
-    });
+    };
+    if (memo != nullptr) {
+      const std::int64_t end = memo->offsets[static_cast<std::size_t>(i) + 1];
+      for (std::int64_t pos = memo->offsets[static_cast<std::size_t>(i)]; pos < end; ++pos) {
+        gather(memo->nbr_items[static_cast<std::size_t>(pos)]);
+      }
+    } else {
+      view.for_each_neighbor(i, gather);
+    }
     // Scan evaluation points starting at a color-dependent offset (purely a
     // simulation-speed heuristic; any good point is correct).
     const std::uint32_t start =
@@ -98,6 +143,39 @@ std::vector<std::uint64_t> linial_step(const ConflictView& view,
   return next;
 }
 
+}  // namespace
+
+LinialParams choose_linial_params(std::uint64_t palette, int degree_bound) {
+  QPLEC_REQUIRE(palette >= 1);
+  QPLEC_REQUIRE(degree_bound >= 0);
+  const int d = std::max(1, degree_bound);
+  LinialParams best{0, 0};
+  std::uint64_t best_out = palette;  // must strictly improve on the input
+  for (int k = 1; k <= 63; ++k) {
+    // Smallest q for this k: q^(k+1) >= palette and q >= d*k + 1.
+    const std::uint64_t dk = static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(k) + 1;
+    const std::uint64_t lo = std::max(dk, nth_root_ceil(palette, k + 1));
+    const std::uint64_t q = next_prime(std::max<std::uint64_t>(2, lo));
+    if (q >= (1ull << 31)) continue;  // GFPoly limit; larger k will shrink q
+    const std::uint64_t out = q * q;
+    if (out < best_out) {
+      best_out = out;
+      best = LinialParams{static_cast<std::uint32_t>(q), k};
+    }
+    // Once d*k+1 alone exceeds the best output's square root, no larger k
+    // can help.
+    if (dk * dk >= best_out) break;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> linial_step(const ConflictView& view,
+                                       const std::vector<std::uint64_t>& colors,
+                                       LinialParams params, const ExecBackend* exec) {
+  return linial_step_impl(view, colors, params, exec != nullptr ? *exec : serial_backend(),
+                          nullptr);
+}
+
 LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> colors,
                            std::uint64_t palette, int degree_bound, RoundLedger& ledger,
                            const ExecBackend* exec, ValidationGate* gate) {
@@ -108,12 +186,24 @@ LinialResult linial_reduce(const ConflictView& view, std::vector<std::uint64_t> 
   out.palette = palette;
   // The reduction collapses super-exponentially; 64 iterations is far beyond
   // log* of anything representable.
+  // The iterations share one memo (built lazily at the first step): the
+  // active set never changes inside a reduce, so every step after the first
+  // replays the flat neighbor rows instead of re-walking incident lists.
+  LinialMemo memo;
+  bool have_memo = false;
   for (int iter = 0; iter < 64; ++iter) {
     const LinialParams params = choose_linial_params(out.palette, degree_bound);
     if (params.q == 0) break;  // fixpoint
     const std::uint64_t new_palette =
         static_cast<std::uint64_t>(params.q) * static_cast<std::uint64_t>(params.q);
-    out.colors = linial_step(view, out.colors, params, &ex);
+    if (!have_memo) {
+      memo = build_linial_memo(view, ex);
+      have_memo = true;
+    }
+    {
+      const trace::Span span("linial-step", "engine");
+      out.colors = linial_step_impl(view, out.colors, params, ex, &memo);
+    }
     out.palette = new_palette;
     ++out.rounds;
     ledger.charge(1, "linial");

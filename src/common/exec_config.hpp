@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace qplec {
 
@@ -125,6 +126,23 @@ struct ExecConfig {
   /// Under ValidationTier::kSampled, one in this many due() draws runs the
   /// walk (the first draw of every gate always runs).
   int validation_sample_period = 16;
+
+  /// Master switch of the process-wide MetricsRegistry (src/obs/metrics.hpp).
+  /// On by default — counters/gauges/histograms record; off turns every
+  /// instrument write into one relaxed atomic load.  Observers only: solved
+  /// colors, rounds and ledger are bit-identical either way (pinned by
+  /// tests/test_obs.cpp), and bench_service gates the on/off overhead <= 3%.
+  bool metrics = true;
+
+  /// When non-empty, the layer that owns the run (SolveService, cli_solve)
+  /// opens a TraceRecorder session (src/obs/trace.hpp) and writes the Chrome
+  /// trace_event JSON here at teardown.  Empty (default): tracing off, span
+  /// sites cost one relaxed load.
+  std::string trace_path{};
+
+  /// Per-thread span ring capacity while tracing (events; oldest dropped on
+  /// overflow, so a long solve keeps its most recent window).
+  int trace_ring_capacity = 8192;
 
   /// True when this configuration shards a graph of `num_edges` edges.
   bool wants_sharding(int num_edges) const {

@@ -10,8 +10,33 @@
 #include "src/common/math.hpp"
 #include "src/core/pass_timer.hpp"
 #include "src/dist/reducer.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace qplec {
+
+namespace {
+
+/// Process-wide cache-outcome counters, resolved once (function-local
+/// statics keep hot engine construction off the registry map).  "hit": the
+/// engine built a NeighborColorCache; "budget_reject": fits() said the rows
+/// would dwarf the graph; "fallback": the config disabled the cache.
+struct CacheModeCounters {
+  obs::Counter& hit;
+  obs::Counter& budget_reject;
+  obs::Counter& fallback;
+
+  static CacheModeCounters& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static CacheModeCounters c{
+        reg.counter("qplec_cache_engines_total{mode=\"hit\"}"),
+        reg.counter("qplec_cache_engines_total{mode=\"budget_reject\"}"),
+        reg.counter("qplec_cache_engines_total{mode=\"fallback\"}"),
+    };
+    return c;
+  }
+};
+
+}  // namespace
 
 SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color palette,
                            std::vector<std::uint64_t> phi, std::uint64_t phi_palette,
@@ -35,9 +60,17 @@ SolverEngine::SolverEngine(const Graph& g, std::vector<ColorList> lists, Color p
   QPLEC_REQUIRE(work_.size() == static_cast<std::size_t>(g.num_edges()));
   QPLEC_REQUIRE(phi_.size() == static_cast<std::size_t>(g.num_edges()));
   // Hub-heavy graphs fail NeighborColorCache::fits (the rows would dwarf
-  // the graph); they silently run the bit-identical full-rescan path.
-  if (config_.use_neighbor_cache && g_.num_edges() > 0 && NeighborColorCache::fits(g_)) {
-    cache_ = std::make_unique<NeighborColorCache>(g_, final_, *exec_);
+  // the graph); they silently run the bit-identical full-rescan path.  The
+  // mode counters make that silence observable.
+  if (g_.num_edges() > 0) {
+    if (!config_.use_neighbor_cache) {
+      CacheModeCounters::get().fallback.inc();
+    } else if (NeighborColorCache::fits(g_)) {
+      cache_ = std::make_unique<NeighborColorCache>(g_, final_, *exec_);
+      CacheModeCounters::get().hit.inc();
+    } else {
+      CacheModeCounters::get().budget_reject.inc();
+    }
   }
   note_depth(depth);
 }
@@ -62,7 +95,7 @@ EdgeColoring SolverEngine::solve() {
     // Demoted entry walk: phi properness is re-checked by every primitive
     // that consumes it, and the final coloring is validated downstream.
     if (validation_due()) {
-      const PassTimer timer(stats_.profile.validate_ms);
+      const PassTimer timer(stats_.profile.validate_ms, "validate-entry");
       QPLEC_ASSERT(
           is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
     }
@@ -74,7 +107,7 @@ EdgeColoring SolverEngine::solve() {
 EdgeColoring SolverEngine::solve_relaxed_instance(double slack) {
   if (g_.num_edges() > 0) {
     if (validation_due()) {
-      const PassTimer timer(stats_.profile.validate_ms);
+      const PassTimer timer(stats_.profile.validate_ms, "validate-entry");
       QPLEC_ASSERT(
           is_proper_on_conflict(LineGraphConflict(g_, EdgeSubset::all(g_)), phi_, *exec_));
     }
@@ -88,7 +121,7 @@ EdgeColoring SolverEngine::finish_solve() {
   // original instance unconditionally, so this engine-level sweep is a
   // redundant early tripwire worth sampling, not paying every solve.
   if (validation_due()) {
-    const PassTimer timer(stats_.profile.validate_ms);
+    const PassTimer timer(stats_.profile.validate_ms, "validate-final");
     std::string why;
     QPLEC_ASSERT_MSG(is_proper_edge_coloring(g_, final_, &why),
                      "engine output invalid: " << why);
@@ -97,13 +130,22 @@ EdgeColoring SolverEngine::finish_solve() {
     stats_.cache_flushes += cache_->flushes();
     stats_.cache_deltas += cache_->deltas_noted();
     stats_.cache_colors_removed += cache_->colors_removed();
+    // Fold this engine's cache telemetry into the process-wide series (once
+    // per engine, off the hot path).
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& flushes = reg.counter("qplec_cache_flushes_total");
+    static obs::Counter& deltas = reg.counter("qplec_cache_deltas_total");
+    static obs::Counter& removed = reg.counter("qplec_cache_colors_removed_total");
+    flushes.inc(static_cast<std::uint64_t>(cache_->flushes()));
+    deltas.inc(static_cast<std::uint64_t>(cache_->deltas_noted()));
+    removed.inc(static_cast<std::uint64_t>(cache_->colors_removed()));
   }
   return final_;
 }
 
 void SolverEngine::refresh_lists(const EdgeSubset& H) {
   ledger_.charge(1, "refresh-lists");
-  const PassTimer timer(stats_.refresh_ms);
+  const PassTimer timer(stats_.refresh_ms, "refresh");
   if (cache_) {
     // Incremental path: drain the round's finalize log, then each member
     // sweeps only its live row (plus its deferred pending colors) — exactly
@@ -155,7 +197,7 @@ int SolverEngine::round_head(const EdgeSubset& H, const char* invariant) {
     ledger_.charge(1, "refresh-lists");
     ++stats_.profile.supersteps;
     stats_.profile.fused_sweeps_saved += validate ? 2 : 1;
-    const PassTimer profile_timer(stats_.profile.pass_ms);
+    const PassTimer profile_timer(stats_.profile.pass_ms, "superstep");
     const PassTimer timer(stats_.refresh_ms);
     DeterministicReducer<int> deg(exec_->lanes(), 0);
     if (cache_) cache_->flush();
@@ -185,11 +227,11 @@ int SolverEngine::round_head(const EdgeSubset& H, const char* invariant) {
   }
   int d = 0;
   {
-    const PassTimer barrier_timer(stats_.profile.barrier_ms);
+    const PassTimer barrier_timer(stats_.profile.barrier_ms, "measure");
     d = max_induced_degree(H);
   }
   if (validate) {
-    const PassTimer validate_timer(stats_.profile.validate_ms);
+    const PassTimer validate_timer(stats_.profile.validate_ms, "validate");
     exec_->for_members(H, [&](int lane, EdgeId e) {
       QPLEC_ASSERT_MSG(work_[static_cast<std::size_t>(e)].size() >=
                            induced_degree(lane, e, H) + 1,
@@ -216,7 +258,7 @@ int SolverEngine::relaxed_head(const EdgeSubset& A, double slack, Color lo, Colo
   if (config_.fuse_supersteps) {
     if (validate) ++stats_.profile.fused_sweeps_saved;
     ++stats_.profile.supersteps;
-    const PassTimer profile_timer(stats_.profile.pass_ms);
+    const PassTimer profile_timer(stats_.profile.pass_ms, "relaxed-superstep");
     DeterministicReducer<int> deg(exec_->lanes(), 0);
     exec_->for_members(A, [&](int lane, EdgeId e) {
       const int di = induced_degree(lane, e, A);
@@ -228,11 +270,11 @@ int SolverEngine::relaxed_head(const EdgeSubset& A, double slack, Color lo, Colo
 
   int d = 0;
   {
-    const PassTimer barrier_timer(stats_.profile.barrier_ms);
+    const PassTimer barrier_timer(stats_.profile.barrier_ms, "measure");
     d = max_induced_degree(A);
   }
   if (validate) {
-    const PassTimer validate_timer(stats_.profile.validate_ms);
+    const PassTimer validate_timer(stats_.profile.validate_ms, "validate");
     exec_->for_members(A, [&](int lane, EdgeId e) {
       entry_check(lane, e, induced_degree(lane, e, A));
     });
@@ -322,7 +364,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
       ledger_.charge(1, "mark-active");
       std::vector<std::uint8_t> is_active(bucket.size(), 0);
       {
-        const PassTimer timer(stats_.refresh_ms);
+        const PassTimer timer(stats_.refresh_ms, "mark-active");
         if (cache_) cache_->flush();
         exec_->for_indices(static_cast<int>(bucket.size()), [&](int lane, int t) {
           const EdgeId e = bucket[static_cast<std::size_t>(t)];
@@ -350,7 +392,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
         // already enforced the half-degree bound the recursion needs; this
         // standalone walk re-derives the paper's stronger statement.
         if (validation_due()) {
-          const PassTimer validate_timer(stats_.profile.validate_ms);
+          const PassTimer validate_timer(stats_.profile.validate_ms, "validate-slack");
           exec_->for_members(active, [&](int lane, EdgeId e) {
             const int dprime = induced_degree(lane, e, active);
             QPLEC_ASSERT_MSG(
@@ -373,7 +415,7 @@ void SolverEngine::solve_no_slack(EdgeSubset H, int depth) {
     // Degree halving (asserted, gated): the measurement sweep exists only to
     // feed the assert — the next iteration's round head re-measures anyway.
     if (!next.empty() && validation_due()) {
-      const PassTimer validate_timer(stats_.profile.validate_ms);
+      const PassTimer validate_timer(stats_.profile.validate_ms, "validate-halving");
       const int nd = max_induced_degree(next);
       QPLEC_ASSERT_MSG(2 * nd <= d, "degree halving violated: " << d << " -> " << nd);
     }

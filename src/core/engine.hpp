@@ -224,6 +224,7 @@ class SolverEngine {
   void checkpoint() const {
     if (control_ == nullptr) return;
     ++stats_.profile.checkpoints;
+    trace::instant("checkpoint", "engine");
     const PassTimer timer(stats_.profile.ledger_ms);
     solve_checkpoint(control_, [&] {
       return RoundProgress{ledger_.total(), ledger_.raw_total()};

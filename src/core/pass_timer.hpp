@@ -1,30 +1,46 @@
-// PassTimer — RAII wall-clock accumulation for one engine pass.
+// PassTimer — RAII wall-clock accumulation for one engine pass, doubling as
+// the engine's trace-span emitter.
 //
 // The refresh/restrict timer slots of SolverStats are fed by the two
 // translation units of the engine (engine.cpp, space_reduce.cpp); the helper
 // lives here so both scope their passes the same way.  The measured values
 // are wall time: real but non-deterministic, reported by BENCH_cache.json
 // and never part of a determinism fingerprint.
+//
+// When a span name is given and a trace session is recording
+// (src/obs/trace.hpp), the same [ctor, dtor) interval is also emitted as a
+// complete Chrome-trace span under category "engine" — one extra relaxed
+// atomic load per pass when tracing is off, so the sinks and the spans ride
+// one clock read pair.
 #pragma once
 
 #include <chrono>
+
+#include "src/obs/trace.hpp"
 
 namespace qplec {
 
 class PassTimer {
  public:
-  explicit PassTimer(double& sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  explicit PassTimer(double& sink, const char* span_name = nullptr)
+      : sink_(sink),
+        span_name_(trace::enabled() ? span_name : nullptr),
+        start_(std::chrono::steady_clock::now()) {}
   ~PassTimer() {
-    sink_ += std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                       start_)
-                 .count();
+    const auto end = std::chrono::steady_clock::now();
+    sink_ += std::chrono::duration<double, std::milli>(end - start_).count();
+    if (span_name_ != nullptr) {
+      const auto us =
+          std::chrono::duration_cast<std::chrono::microseconds>(end - start_).count();
+      trace::complete(span_name_, "engine", trace::now_us() - us, us);
+    }
   }
   PassTimer(const PassTimer&) = delete;
   PassTimer& operator=(const PassTimer&) = delete;
 
  private:
   double& sink_;
+  const char* span_name_;
   std::chrono::steady_clock::time_point start_;
 };
 

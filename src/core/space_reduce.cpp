@@ -141,7 +141,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     // the child solve below).
     std::vector<ColorList> cand(e1.size());
     {
-      const PassTimer cand_timer(stats_.restrict_ms);
+      const PassTimer cand_timer(stats_.restrict_ms, "restrict-cand");
       exec_->for_indices(static_cast<int>(e1.size()), [&](int lane, int ti) {
         const std::size_t t = static_cast<std::size_t>(ti);
         const EdgeId e = e1[t];
@@ -217,7 +217,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
     // live rows (the child solve below stays untimed).
     std::vector<ColorList> cand(e2.size());
     {
-      const PassTimer cand_timer(stats_.restrict_ms);
+      const PassTimer cand_timer(stats_.restrict_ms, "restrict-cand");
       exec_->for_indices(static_cast<int>(e2.size()), [&](int lane, int ti) {
         const std::size_t t = static_cast<std::size_t>(ti);
         const EdgeId e = e2[t];
@@ -259,7 +259,7 @@ std::vector<int> SolverEngine::assign_subspaces(const EdgeSubset& A, Color lo, C
   // --- Restrict lists; machine-check Equation (2). ---
   // part_of is fully assigned and read-only here; each edge replaces only
   // its own working list.  The tightness statistic folds per lane.
-  const PassTimer restrict_timer(stats_.restrict_ms);
+  const PassTimer restrict_timer(stats_.restrict_ms, "restrict");
   DeterministicReducer<double> eq2_ratio(exec_->lanes(), stats_.max_eq2_ratio);
   exec_->for_members(A, [&](int lane, EdgeId e) {
     const std::size_t i = static_cast<std::size_t>(e);

@@ -1,0 +1,207 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace qplec::obs {
+
+// ------------------------------------------------------ HistogramSnapshot ---
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count]; find the bucket whose cumulative count reaches it
+  // and interpolate linearly inside that bucket's value span.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    const double lo = i == 0 ? std::min(min, bounds.empty() ? min : bounds[0]) : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : max;
+    if (static_cast<double>(cum + c) >= rank) {
+      const double within = (rank - static_cast<double>(cum)) / static_cast<double>(c);
+      const double est = lo + (std::max(hi, lo) - lo) * within;
+      // Never report outside the observed range (tightens the first and
+      // overflow buckets to real data).
+      return std::clamp(est, min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
+// -------------------------------------------------------------- Histogram ---
+
+Histogram::Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1), enabled_(enabled) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    QPLEC_REQUIRE(bounds_[i] > bounds_[i - 1]);
+  }
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// fetch_add / fetch_min / fetch_max over atomic<double> via CAS (portable
+// pre-C++20-atomic-float-ops; all cold-path — one hit per observation).
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (d < cur && !a.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (d > cur && !a.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::uint64_t before = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (before == 0) {
+    // First observation seeds min; races with a concurrent first observation
+    // resolve through the CAS min/max below.
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --------------------------------------------------------- MetricsRegistry ---
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter(&enabled_));
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge(&enabled_));
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram(&enabled_, std::move(bounds)));
+  return *slot;
+}
+
+std::vector<double> MetricsRegistry::latency_buckets_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) s.histograms.emplace_back(name, h->snapshot());
+  return s;
+}
+
+namespace {
+
+/// Metric name without a `{label="..."}` suffix (for # TYPE lines).
+std::string base_name(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void format_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && std::abs(v) < 1e15) {
+    os << static_cast<std::int64_t>(v);
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  const RegistrySnapshot s = snapshot();
+  std::ostringstream os;
+  std::string last_base;
+  for (const auto& [name, v] : s.counters) {
+    const std::string base = base_name(name);
+    if (base != last_base) {
+      os << "# TYPE " << base << " counter\n";
+      last_base = base;
+    }
+    os << name << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : s.gauges) {
+    os << "# TYPE " << base_name(name) << " gauge\n" << name << ' ' << v << '\n';
+  }
+  for (const auto& [name, h] : s.histograms) {
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      os << name << "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        format_number(os, h.bounds[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cum << '\n';
+    }
+    os << name << "_sum " << h.sum << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+bool MetricsRegistry::write_prometheus_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << prometheus_text();
+  return static_cast<bool>(out);
+}
+
+}  // namespace qplec::obs

@@ -1,0 +1,196 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace qplec::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's bounded event buffer.  The owning thread appends; the
+/// exporter reads under the same mutex (uncontended in steady state — the
+/// exporter only runs after solves quiesce, the lock exists so TSan and the
+/// rare overlap are both clean).
+struct Ring {
+  explicit Ring(int capacity, int tid_) : events(static_cast<std::size_t>(capacity)), tid(tid_) {}
+
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // fixed capacity, circular
+  std::size_t next = 0;            // write cursor
+  std::size_t size = 0;            // valid events (<= capacity)
+  std::uint64_t dropped = 0;       // overwritten events
+  int tid = 0;
+
+  void push(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (size == events.size()) ++dropped;  // overwriting the oldest
+    events[next] = e;
+    next = (next + 1) % events.size();
+    if (size < events.size()) ++size;
+  }
+};
+
+struct Recorder {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> session{0};  ///< bumped by start(); invalidates
+                                          ///< cached thread-local rings
+  std::mutex mu;                          ///< rings registration + epoch
+  std::vector<std::unique_ptr<Ring>> rings;
+  int capacity = 4096;
+  Clock::time_point epoch{};
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder();  // never destroyed
+  return *r;
+}
+
+/// The calling thread's ring for the current session (registers on first
+/// use; re-registers after start() invalidated the cached pointer).
+Ring& my_ring() {
+  thread_local Ring* cached = nullptr;
+  thread_local std::uint64_t cached_session = 0;
+  Recorder& r = recorder();
+  const std::uint64_t session = r.session.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_session != session) {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.rings.push_back(std::make_unique<Ring>(r.capacity, static_cast<int>(r.rings.size())));
+    cached = r.rings.back().get();
+    cached_session = session;
+  }
+  return *cached;
+}
+
+}  // namespace
+
+bool enabled() { return recorder().enabled.load(std::memory_order_relaxed); }
+
+void start(int ring_capacity) {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.rings.clear();  // callers must not start() while spans are recording
+  r.capacity = std::max(16, ring_capacity);
+  r.epoch = Clock::now();
+  r.session.fetch_add(1, std::memory_order_release);
+  r.enabled.store(true, std::memory_order_release);
+}
+
+void stop() { recorder().enabled.store(false, std::memory_order_release); }
+
+std::int64_t now_us() {
+  Recorder& r = recorder();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - r.epoch).count();
+}
+
+void complete(const char* name, const char* cat, std::int64_t start_us, std::int64_t dur_us) {
+  if (!enabled()) return;
+  Ring& ring = my_ring();
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = start_us;
+  e.dur_us = dur_us < 0 ? 0 : dur_us;
+  e.tid = ring.tid;
+  ring.push(e);
+}
+
+void instant(const char* name, const char* cat) {
+  if (!enabled()) return;
+  Ring& ring = my_ring();
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = now_us();
+  e.dur_us = -1;
+  e.tid = ring.tid;
+  ring.push(e);
+}
+
+Span::Span(const char* name, const char* cat)
+    : name_(name), cat_(cat), start_us_(enabled() ? now_us() : -1) {}
+
+Span::~Span() {
+  if (start_us_ < 0) return;
+  complete(name_, cat_, start_us_, now_us() - start_us_);
+}
+
+std::uint64_t dropped() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : r.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> snapshot_events() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<TraceEvent> out;
+  for (const auto& ring : r.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    // Oldest-first: the circular buffer starts at `next` when full.
+    const std::size_t cap = ring->events.size();
+    const std::size_t first = ring->size == cap ? ring->next : 0;
+    for (std::size_t k = 0; k < ring->size; ++k) {
+      out.push_back(ring->events[(first + k) % cap]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+bool write_chrome_json(const std::string& path) {
+  const std::vector<TraceEvent> events = snapshot_events();
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"name\":";
+    write_json_string(out, e.name);
+    out << ",\"cat\":";
+    write_json_string(out, e.cat);
+    out << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us;
+    if (e.dur_us < 0) {
+      out << ",\"ph\":\"i\",\"s\":\"t\"}";
+    } else {
+      out << ",\"ph\":\"X\",\"dur\":" << e.dur_us << '}';
+    }
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace qplec::trace

@@ -1,8 +1,10 @@
 #include "src/runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/assert.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace qplec {
 
@@ -18,6 +20,13 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+void ThreadPool::enable_metrics(const std::string& name) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("qplec_pool_" + name + "_workers").set(num_threads());
+  tasks_total_ = &reg.counter("qplec_pool_" + name + "_tasks_total");
+  busy_us_total_ = &reg.counter("qplec_pool_" + name + "_busy_us_total");
 }
 
 ThreadPool::~ThreadPool() {
@@ -125,11 +134,23 @@ void ThreadPool::worker_loop(int worker_id) {
     }
     int task = -1;
     while (try_pop_or_steal(worker_id, &task)) {
+      // Lane-time telemetry rides the task boundary: two clock reads per
+      // task, only once enable_metrics armed the counters.
+      const bool timed = busy_us_total_ != nullptr;
+      const auto t0 = timed ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
       try {
         (*fn)(worker_id, task);
       } catch (...) {
         std::lock_guard<std::mutex> lock(batch_mu_);
         if (!first_error_) first_error_ = std::current_exception();
+      }
+      if (timed) {
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        busy_us_total_->inc(worker_id, static_cast<std::uint64_t>(us));
+        tasks_total_->inc(worker_id, 1);
       }
       std::lock_guard<std::mutex> lock(batch_mu_);
       --tasks_remaining_;

@@ -28,10 +28,16 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace qplec {
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
 
 class ThreadPool {
  public:
@@ -43,6 +49,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Opt-in lane-time telemetry: registers the process-wide series
+  /// `qplec_pool_<name>_{workers,tasks_total,busy_us_total}` and starts
+  /// timing every task this pool executes (two clock reads per task; the
+  /// busy counter folds per-worker padded cells).  Idle time is derived:
+  /// wall_time * workers - busy.  Call before the pool sees work; the name
+  /// distinguishes the shard-worker lease from batch pools.
+  void enable_metrics(const std::string& name);
 
   /// Runs fn(worker_id, task_index) for every task_index in [0, num_tasks),
   /// each exactly once, and blocks until all have finished.  Exceptions
@@ -62,6 +76,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  // Lane-time telemetry (null until enable_metrics; registry-owned).
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Counter* busy_us_total_ = nullptr;
 
   std::mutex lease_mu_;  // serializes whole run_indexed calls (lease safety)
   std::mutex batch_mu_;

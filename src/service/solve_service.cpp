@@ -13,6 +13,7 @@
 #include "src/coloring/validate.hpp"
 #include "src/common/assert.hpp"
 #include "src/graph/io.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/batch_solver.hpp"  // hash_coloring
 #include "src/runtime/thread_pool.hpp"
 
@@ -24,6 +25,87 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// The service's process-wide instrument set, resolved once.  Shared by
+/// every SolveService (the registry owns the instruments; references stay
+/// valid for the process lifetime).
+struct ServiceTelemetry {
+  obs::Counter* outcomes[kNumSolveStatuses];
+  obs::Counter& submitted;
+  obs::Counter& sweeper_expired;
+  obs::Gauge& queue_depth;
+  obs::Gauge& workers_busy;
+  obs::Gauge& workers_total;
+  obs::Histogram& queue_latency_ms;
+  obs::Histogram& solve_latency_ms;
+
+  static ServiceTelemetry& get() {
+    static ServiceTelemetry* t = new ServiceTelemetry();  // never destroyed
+    return *t;
+  }
+
+ private:
+  ServiceTelemetry()
+      : submitted(registry().counter("qplec_service_submitted_total")),
+        sweeper_expired(registry().counter("qplec_service_sweeper_expired_total")),
+        queue_depth(registry().gauge("qplec_service_queue_depth")),
+        workers_busy(registry().gauge("qplec_service_workers_busy")),
+        workers_total(registry().gauge("qplec_service_workers")),
+        queue_latency_ms(registry().histogram("qplec_service_queue_latency_ms",
+                                              obs::MetricsRegistry::latency_buckets_ms())),
+        solve_latency_ms(registry().histogram("qplec_service_solve_latency_ms",
+                                              obs::MetricsRegistry::latency_buckets_ms())) {
+    for (int s = 0; s < kNumSolveStatuses; ++s) {
+      outcomes[s] = &registry().counter(std::string("qplec_service_outcomes_total{status=\"") +
+                                        status_name(static_cast<SolveStatus>(s)) + "\"}");
+    }
+  }
+
+  static obs::MetricsRegistry& registry() { return obs::MetricsRegistry::global(); }
+};
+
+/// Static-string trace tag per terminal status (ring events store pointers).
+const char* terminal_event_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "solved";
+    case SolveStatus::kInvalidInstance:
+      return "invalid-instance";
+    case SolveStatus::kCancelled:
+      return "cancelled";
+    case SolveStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case SolveStatus::kInvariantViolation:
+      return "invariant-violation";
+  }
+  return "unknown";
+}
+
+/// The ONE queue-exit accounting step: stamps SolveOutcome::queue_ms from
+/// the submission clock, retires the job from the queue-depth gauge and
+/// records its queue-latency sample plus the "queue" trace span.  Every way
+/// a job leaves the queue — a worker claim, cancel-before-start, the
+/// deadline sweeper — funnels through here exactly once, so queue time is
+/// accounted identically on every path (and future exits, e.g. queue_full
+/// load shedding, inherit the same bookkeeping).
+double account_dequeue(Clock::time_point submit_time) {
+  const double queue_ms = ms_since(submit_time);
+  ServiceTelemetry& t = ServiceTelemetry::get();
+  t.queue_depth.add(-1);
+  t.queue_latency_ms.observe(queue_ms);
+  if (trace::enabled()) {
+    const auto us = static_cast<std::int64_t>(queue_ms * 1000.0);
+    trace::complete("queue", "service", trace::now_us() - us, us);
+  }
+  return queue_ms;
+}
+
+/// Terminal accounting every exit path shares: the per-status outcome
+/// counter and (for non-ok terminals) an instant trace event.
+void account_terminal(SolveStatus status) {
+  ServiceTelemetry::get().outcomes[static_cast<int>(status)]->inc();
+  if (status != SolveStatus::kOk) trace::instant(terminal_event_name(status), "service");
 }
 
 }  // namespace
@@ -123,6 +205,7 @@ SolveRequest& SolveRequest::label(std::string name) {
 /// the other.
 struct SolveTicket::Job {
   SolveRequest request;
+  std::string label;  ///< copy of request.label_ for queue-side resolution
   Clock::time_point submit_time;
   SolveControl control;  ///< cancel flag / deadline / progress hook
 
@@ -131,6 +214,21 @@ struct SolveTicket::Job {
   bool started = false;  ///< a worker claimed it (cancel() then only flags)
   bool done = false;
   SolveOutcome outcome;
+
+  /// Resolves a job that never reached a worker (caller holds mu; !started
+  /// && !done).  The ONE terminal path for cancel-before-start and sweeper
+  /// expiry: label, queue_ms, the dequeue/terminal telemetry and the wakeup
+  /// are accounted exactly like a worker-claimed job's — no exit path skips
+  /// a field.
+  void resolve_queued_locked(SolveStatus status, const char* error_msg) {
+    outcome.status = status;
+    outcome.error = error_msg;
+    outcome.label = label;
+    outcome.queue_ms = account_dequeue(submit_time);
+    account_terminal(status);
+    done = true;
+    cv.notify_all();
+  }
 };
 
 const SolveOutcome& SolveTicket::wait() const {
@@ -162,10 +260,7 @@ void SolveTicket::cancel() const {
   // eventually pops the stale entry sees done and discards it.
   std::lock_guard<std::mutex> lock(job_->mu);
   if (job_->started || job_->done) return;  // running or finished: the flag suffices
-  job_->outcome.status = SolveStatus::kCancelled;
-  job_->outcome.error = "cancelled before start";
-  job_->done = true;
-  job_->cv.notify_all();
+  job_->resolve_queued_locked(SolveStatus::kCancelled, "cancelled before start");
 }
 
 // ----------------------------------------------------------- SolveService ---
@@ -213,6 +308,12 @@ struct SolveService::Impl {
 
 SolveService::SolveService(ExecConfig config)
     : config_(config), impl_(std::make_unique<Impl>()) {
+  // The telemetry spine follows the config: the service owning the run flips
+  // the process-wide registry switch and (when asked) opens the trace
+  // session it will export at teardown.
+  obs::MetricsRegistry::global().set_enabled(config_.metrics);
+  if (!config_.trace_path.empty()) trace::start(config_.trace_ring_capacity);
+
   // The shard-worker lease (PR 3 pool-ownership rules): one pool, sized once,
   // shared by every solve this service routes to the sharded backend.  It
   // must be a DIFFERENT pool than the solve workers' — a worker fanning a
@@ -222,11 +323,16 @@ SolveService::SolveService(ExecConfig config)
       impl_->shard_pool = config_.shared_pool;
     } else {
       impl_->owned_shard_pool = std::make_unique<ThreadPool>(config_.pool_threads());
+      impl_->owned_shard_pool->enable_metrics("shard");
       impl_->shard_pool = impl_->owned_shard_pool.get();
     }
   }
 
   impl_->workers = std::make_unique<ThreadPool>(config_.worker_threads());
+  // The solve-worker pool hosts everlasting worker_loop tasks, so pool-level
+  // task timing would be meaningless for it; the service-level busy/queue
+  // gauges cover these workers instead.
+  ServiceTelemetry::get().workers_total.set(impl_->workers->num_threads());
   // The solve workers are hosted ON the work-stealing pool: one everlasting
   // run_indexed batch with exactly one worker-loop task per pool worker.  The
   // pump thread parks inside run_indexed until shutdown drains the queue.
@@ -246,6 +352,11 @@ SolveService::~SolveService() {
   impl_->timer_cv.notify_all();
   impl_->pump.join();
   impl_->timer.join();
+  // All jobs drained; the trace session (if any) is quiescent — export it.
+  if (!config_.trace_path.empty()) {
+    trace::stop();
+    trace::write_chrome_json(config_.trace_path);
+  }
 }
 
 int SolveService::workers() const { return impl_->workers->num_threads(); }
@@ -262,6 +373,7 @@ SolveTicket SolveService::submit(SolveRequest request) {
   job->control.on_round = std::move(request.on_round_);
   const int priority = request.priority_;
   job->request = std::move(request);
+  job->label = job->request.label_;
 
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
@@ -272,6 +384,8 @@ SolveTicket SolveService::submit(SolveRequest request) {
     }
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  ServiceTelemetry::get().submitted.inc();
+  ServiceTelemetry::get().queue_depth.add(1);
   impl_->cv.notify_one();
   if (job->control.has_deadline) impl_->timer_cv.notify_one();
   return SolveTicket(std::move(job));
@@ -293,13 +407,22 @@ void SolveService::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(job->mu);
-      if (job->done) {  // resolved while queued (cancel()); discard the stale entry
+      if (job->done) {  // resolved while queued (cancel()/sweeper); the
+                        // resolver already accounted the dequeue — just
+                        // discard the stale entry
         completed_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       job->started = true;
     }
+    // The claim IS the dequeue: queue time ends here on the claimed path,
+    // through the same accounting step the queue-side resolvers use.
+    ServiceTelemetry& telemetry = ServiceTelemetry::get();
+    telemetry.workers_busy.add(1);
+    job->outcome.queue_ms = account_dequeue(job->submit_time);
     run_job(*job);
+    account_terminal(job->outcome.status);
+    telemetry.workers_busy.add(-1);
     completed_.fetch_add(1, std::memory_order_relaxed);  // before done is visible
     {
       std::lock_guard<std::mutex> lock(job->mu);
@@ -336,12 +459,8 @@ void SolveService::timer_loop() {
     // acquires them the other way around).
     std::lock_guard<std::mutex> job_lock(job->mu);
     if (job->started || job->done) continue;  // running or already resolved
-    job->outcome.status = SolveStatus::kDeadlineExceeded;
-    job->outcome.error = "deadline expired while queued";
-    job->outcome.label = job->request.label_;
-    job->outcome.queue_ms = ms_since(job->submit_time);
-    job->done = true;
-    job->cv.notify_all();
+    ServiceTelemetry::get().sweeper_expired.inc();
+    job->resolve_queued_locked(SolveStatus::kDeadlineExceeded, "deadline expired while queued");
   }
 }
 
@@ -349,7 +468,7 @@ void SolveService::run_job(SolveTicket::Job& job) const {
   const SolveRequest& req = job.request;
   SolveOutcome& out = job.outcome;
   out.label = req.label_;
-  out.queue_ms = ms_since(job.submit_time);
+  // queue_ms was stamped by the claiming worker (the one dequeue point).
 
   // Cancel-before-start and deadline-expired-in-queue resolve without doing
   // any work (no instance build, no solver).
@@ -397,6 +516,10 @@ void SolveService::run_job(SolveTicket::Job& job) const {
     return;
   }
   out.build_ms = ms_since(build_start);
+  if (trace::enabled()) {
+    const auto us = static_cast<std::int64_t>(out.build_ms * 1000.0);
+    trace::complete("build", "service", trace::now_us() - us, us);
+  }
   out.num_nodes = instance.graph.num_nodes();
   out.num_edges = instance.graph.num_edges();
   out.max_degree = instance.graph.max_degree();
@@ -439,6 +562,28 @@ void SolveService::run_job(SolveTicket::Job& job) const {
     out.status = SolveStatus::kInvariantViolation;
     out.error = e.what();
   }
+  // One solve span and one latency sample per *attempted* solve, whatever
+  // the terminal status (interrupted solves report the time they actually
+  // ran) — early exits above never reach here.
+  if (trace::enabled()) {
+    const auto us = static_cast<std::int64_t>(out.solve_ms * 1000.0);
+    trace::complete("solve", "service", trace::now_us() - us, us);
+  }
+  ServiceTelemetry::get().solve_latency_ms.observe(out.solve_ms);
+}
+
+ServiceMetricsSnapshot SolveService::metrics_snapshot() const {
+  ServiceTelemetry& t = ServiceTelemetry::get();
+  ServiceMetricsSnapshot s;
+  s.queue_depth = t.queue_depth.value();
+  s.workers_busy = t.workers_busy.value();
+  s.workers_total = t.workers_total.value();
+  s.submitted = t.submitted.value();
+  for (int i = 0; i < kNumSolveStatuses; ++i) s.outcomes[i] = t.outcomes[i]->value();
+  s.deadline_sweeper_expired = t.sweeper_expired.value();
+  s.queue_latency_ms = t.queue_latency_ms.snapshot();
+  s.solve_latency_ms = t.solve_latency_ms.snapshot();
+  return s;
 }
 
 }  // namespace qplec

@@ -40,6 +40,7 @@
 #include "src/common/control.hpp"
 #include "src/common/exec_config.hpp"
 #include "src/core/solver.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/runtime/scenarios.hpp"
 
 namespace qplec {
@@ -65,6 +66,24 @@ enum class SolveStatus {
 };
 
 const char* status_name(SolveStatus status);
+
+/// Number of SolveStatus values (sizes per-status telemetry arrays).
+inline constexpr int kNumSolveStatuses = 5;
+
+/// Point-in-time service telemetry, read from the process-wide
+/// MetricsRegistry by SolveService::metrics_snapshot().  All series are
+/// shared by every SolveService in the process (counters are monotone
+/// across services; gauges reflect the latest writer).
+struct ServiceMetricsSnapshot {
+  std::int64_t queue_depth = 0;   ///< submitted, not yet claimed or resolved
+  std::int64_t workers_busy = 0;  ///< workers currently running a job
+  std::int64_t workers_total = 0;
+  std::uint64_t submitted = 0;                       ///< accepted jobs
+  std::uint64_t outcomes[kNumSolveStatuses] = {};    ///< terminals per status
+  std::uint64_t deadline_sweeper_expired = 0;        ///< expired while queued
+  obs::HistogramSnapshot queue_latency_ms;  ///< submission -> claim/resolve
+  obs::HistogramSnapshot solve_latency_ms;  ///< the solve proper (attempted)
+};
 
 /// Everything the service reports about one finished job.  `result` is
 /// meaningful only when status == kOk (colors may have been discarded when
@@ -226,6 +245,11 @@ class SolveService {
   // Lifetime counters (monotone; for reports and tests).
   std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
   std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+
+  /// Current service telemetry: queue depth / worker gauges, per-status
+  /// outcome counters, queue- and solve-latency histogram snapshots (p50/
+  /// p95/p99 via HistogramSnapshot::quantile).
+  ServiceMetricsSnapshot metrics_snapshot() const;
 
  private:
   struct Impl;

@@ -19,6 +19,14 @@ Usage:
         # ratio; with --write the ratio is stored in the golden as the
         # informational ``cache_speedup`` field (wall time — never compared
         # by the gate, re-measured at every re-baseline).
+    check_golden.py REPORT GOLDEN --metrics-report METRICS.prom
+        # additionally validate a Prometheus text dump written by
+        # ``cli_solve/batch_solve --metrics-dump`` or
+        # ``MetricsRegistry::write_prometheus_file``: every sample line must
+        # parse, every histogram must be internally consistent (cumulative
+        # ``_bucket`` counts ending at ``_count``), and the core qplec
+        # series (solver, service lifecycle, latency histograms) must be
+        # present.  Values are never compared — only shape and presence.
     check_golden.py REPORT GOLDEN --profile-summary
         # additionally print each scenario's unified ``stats`` block (the
         # SolverStats surface every producer emits verbatim via
@@ -38,6 +46,76 @@ import json
 import sys
 
 FINGERPRINT_FIELDS = ("colors_hash", "rounds", "raw_rounds")
+
+# Series every qplec run is expected to leave in a --metrics-dump (presence
+# only — values are workload-dependent).  A histogram name matches via its
+# _bucket/_sum/_count samples.
+REQUIRED_METRICS = (
+    "qplec_solves_total",
+    "qplec_service_submitted_total",
+    "qplec_service_outcomes_total",  # labeled: any {status=...} sample counts
+    "qplec_service_queue_latency_ms",
+    "qplec_service_solve_latency_ms",
+)
+
+
+def check_metrics_report(path):
+    """Validate a Prometheus text dump: parse, histogram shape, presence.
+
+    Returns a list of failure strings (empty = OK).
+    """
+    failures = []
+    samples = {}  # full sample name (labels included) -> value
+    with open(path) as f:
+        lines = f.read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        # A sample is "<name>[{labels}] <value>"; labels may contain spaces
+        # only inside quotes, which qplec never emits — rsplit is safe.
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            failures.append(f"{path}:{lineno}: unparseable sample: {line!r}")
+            continue
+        name, value = parts
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            failures.append(f"{path}:{lineno}: non-numeric value: {line!r}")
+    if failures:
+        return failures
+
+    def base_name(sample_name):
+        return sample_name.split("{", 1)[0]
+
+    bases = {base_name(n) for n in samples}
+
+    # Histogram consistency: cumulative buckets must be non-decreasing and
+    # the +Inf bucket must equal _count.
+    hist_bases = {b[: -len("_bucket")] for b in bases if b.endswith("_bucket")}
+    for h in sorted(hist_bases):
+        buckets = [
+            (n, v) for n, v in samples.items() if base_name(n) == h + "_bucket"
+        ]
+        counts = [v for _, v in buckets]  # emitted in ascending le order
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            failures.append(f"{path}: {h}: bucket counts are not cumulative")
+        if h + "_count" not in samples:
+            failures.append(f"{path}: {h}: missing {h}_count")
+        elif counts and counts[-1] != samples[h + "_count"]:
+            failures.append(
+                f"{path}: {h}: +Inf bucket {counts[-1]} != _count "
+                f"{samples[h + '_count']}"
+            )
+        if h + "_sum" not in samples:
+            failures.append(f"{path}: {h}: missing {h}_sum")
+
+    for required in REQUIRED_METRICS:
+        if required not in bases and not any(
+            b.startswith(required + "_") for b in bases
+        ):
+            failures.append(f"{path}: required series missing: {required}")
+    return failures
 
 
 def fingerprint(report):
@@ -68,6 +146,13 @@ def main():
         "the informational cache_speedup field with --write)",
     )
     parser.add_argument(
+        "--metrics-report",
+        metavar="METRICS_PROM",
+        help="Prometheus text dump (--metrics-dump output): validate that it "
+        "parses, histograms are internally consistent, and the core qplec "
+        "series are present (shape/presence only — values are never gated)",
+    )
+    parser.add_argument(
         "--profile-summary",
         action="store_true",
         help="print each scenario's unified stats block (round-loop profile, "
@@ -84,6 +169,16 @@ def main():
         return 1
 
     actual = fingerprint(report)
+
+    if args.metrics_report:
+        metrics_failures = check_metrics_report(args.metrics_report)
+        if metrics_failures:
+            print(f"FAIL: metrics report {args.metrics_report}:")
+            for line in metrics_failures:
+                print(f"  {line}")
+            return 1
+        print(f"OK: metrics report {args.metrics_report} parses, histograms "
+              "consistent, required series present")
 
     if args.profile_summary:
         print(f"profile summary for {args.report}:")
