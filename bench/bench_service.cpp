@@ -3,10 +3,11 @@
 //   usage: bench_service [--nodes N] [--degree D] [--repeats R]
 //                        [--sweep-repeats K] [--shards S]
 //                        [--out BENCH_service.json] [--max-cancel-rounds X]
-//                        [--max-overhead-pct P]
+//                        [--max-overhead-pct P] [--overload]
+//                        [--min-hit-rate R] [--max-queue-p99-ms X]
 //                        [--smoke MANIFEST --smoke-out FILE]
 //
-// Three experiments, reported into BENCH_service.json:
+// Four experiments, reported into BENCH_service.json:
 //   * Submission throughput: the small default manifest, K copies, submitted
 //     through one service — jobs/sec end to end, plus the mean/max
 //     submission->start wait (queue_ms).  Every repeated copy of a scenario
@@ -27,6 +28,18 @@
 //     must match bit for bit — the telemetry spine is observers only — and
 //     --max-overhead-pct P gates the on/off wall-time delta (exit 1 when
 //     metrics-on costs more than P percent; CI uses 3).
+//   * Sustained overload (--overload): one worker behind a 16-deep queue.
+//     Phase 1 warms the result cache with a handful of small scenarios and
+//     then streams 150 repeat submissions at it — every repeat must come
+//     back as a cache hit, bit-identical to its warm solve (exit 3
+//     otherwise), and --min-hit-rate R gates the observed hit rate.
+//     Phase 2 floods 150 unique-seed scenarios (every one a cache miss) at
+//     the same service, so admission control MUST shed — zero queue_full
+//     outcomes means the backpressure path never fired and the leg exits 1.
+//     Queue-latency percentiles are computed locally from the per-ticket
+//     queue_ms of the ok outcomes (the process-wide histograms are
+//     cumulative across experiments, so the leg cannot read them);
+//     --max-queue-p99-ms X gates the p99.
 // The submission sweep also snapshots the service's queue/solve latency
 // histograms (SolveService::metrics_snapshot) and reports p50/p95/p99 into
 // BENCH_service.json.
@@ -44,6 +57,7 @@
 // service path against the SAME golden fingerprints as the batch path.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -64,7 +78,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_service [--nodes N] [--degree D] [--repeats R] "
                "[--sweep-repeats K] [--shards S] [--out BENCH_service.json] "
-               "[--max-cancel-rounds X] [--max-overhead-pct P] "
+               "[--max-cancel-rounds X] [--max-overhead-pct P] [--overload] "
+               "[--min-hit-rate R] [--max-queue-p99-ms X] "
                "[--smoke MANIFEST --smoke-out FILE]\n");
   return 2;
 }
@@ -85,6 +100,30 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
       .count();
 }
+
+/// Ceil-rank percentile over an unsorted sample (sorts in place).
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+/// Everything the sustained-overload leg measures (see the file comment).
+struct OverloadStats {
+  bool ran = false;
+  std::size_t warm = 0;     ///< distinct scenarios pre-solved into the cache
+  std::size_t repeats = 0;  ///< phase-1 repeat submissions
+  std::size_t hits = 0;     ///< ...of which came back cache_hit
+  std::size_t flood = 0;    ///< phase-2 unique-seed submissions
+  std::size_t shed = 0;     ///< ...rejected queue_full by admission control
+  std::size_t solved = 0;   ///< ...admitted and solved Ok
+  double hit_rate = 0.0;
+  double queue_p50_ms = 0.0;
+  double queue_p99_ms = 0.0;
+  double queue_max_ms = 0.0;
+};
 
 /// Progress-callback instrument.  Always records the longest wall gap
 /// between two consecutive checkpoints — the longest uncancellable stretch,
@@ -231,6 +270,9 @@ int main(int argc, char** argv) {
   int shards = 1;
   double max_cancel_rounds = 0.0;  // 0: informational only
   double max_overhead_pct = 0.0;   // 0: informational only
+  bool run_overload = false;
+  double min_hit_rate = 0.0;       // 0: informational only
+  double max_queue_p99_ms = 0.0;   // 0: informational only
   std::string out_path = "BENCH_service.json";
   std::string smoke_manifest;
   std::string smoke_out = "BENCH_smoke_service.json";
@@ -250,6 +292,12 @@ int main(int argc, char** argv) {
       max_cancel_rounds = std::atof(argv[++i]);
     } else if (arg == "--max-overhead-pct" && i + 1 < argc) {
       max_overhead_pct = std::atof(argv[++i]);
+    } else if (arg == "--overload") {
+      run_overload = true;
+    } else if (arg == "--min-hit-rate" && i + 1 < argc) {
+      min_hit_rate = std::atof(argv[++i]);
+    } else if (arg == "--max-queue-p99-ms" && i + 1 < argc) {
+      max_queue_p99_ms = std::atof(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--smoke" && i + 1 < argc) {
@@ -432,6 +480,101 @@ int main(int argc, char** argv) {
                                                                     : "DIVERGED"});
   overhead_table.print();
 
+  // --- Sustained overload: cache serving + admission shedding. ------------
+  OverloadStats overload;
+  if (run_overload) {
+    overload.ran = true;
+    // One worker behind a shallow queue: the repeat stream must be absorbed
+    // by the result cache, the unique-seed flood must trip the queue_full
+    // backstop.  Both phases run against the SAME service instance.
+    ExecConfig oc;
+    oc.workers = 1;
+    oc.max_queue_depth = 16;
+    SolveService service(oc);
+
+    std::vector<Scenario> warm_set = small_default_manifest();
+    if (warm_set.size() > 6) warm_set.resize(6);
+    std::vector<std::uint64_t> warm_hashes;
+    for (const Scenario& s : warm_set) {
+      const SolveOutcome out =
+          service.solve(SolveRequest::from_scenario(s).discard_colors());
+      if (!out.ok()) {
+        std::fprintf(stderr, "overload warm solve failed for %s: %s\n",
+                     s.name().c_str(), out.error.c_str());
+        return 1;
+      }
+      warm_hashes.push_back(out.colors_hash);
+    }
+    overload.warm = warm_set.size();
+
+    // Phase 1: 150 repeat submissions round-robin over the warm set.  Every
+    // one should be served verbatim from the cache.
+    std::vector<double> ok_queue_ms;
+    constexpr int kRepeats = 150;
+    std::vector<SolveTicket> tickets;
+    tickets.reserve(kRepeats);
+    for (int i = 0; i < kRepeats; ++i) {
+      tickets.push_back(service.submit(
+          SolveRequest::from_scenario(warm_set[i % warm_set.size()]).discard_colors()));
+    }
+    for (int i = 0; i < kRepeats; ++i) {
+      const SolveOutcome& out = tickets[i].wait();
+      if (!out.ok()) continue;
+      ok_queue_ms.push_back(out.queue_ms);
+      if (out.cache_hit) ++overload.hits;
+      if (out.colors_hash != warm_hashes[i % warm_set.size()]) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: cached repeat of %s drifted from "
+                     "its warm solve\n",
+                     warm_set[i % warm_set.size()].name().c_str());
+        deterministic = false;
+      }
+    }
+    overload.repeats = kRepeats;
+    overload.hit_rate =
+        static_cast<double>(overload.hits) / static_cast<double>(kRepeats);
+
+    // Phase 2: 150 unique-seed floods — every fingerprint fresh, so every
+    // submit heads for the one-worker queue and admission control must shed
+    // once the backlog hits max_queue_depth.
+    tickets.clear();
+    constexpr int kFlood = 150;
+    tickets.reserve(kFlood);
+    const Scenario flood_base = warm_set.front();
+    for (int i = 0; i < kFlood; ++i) {
+      Scenario s = flood_base;
+      s.seed = 1000000 + static_cast<std::uint64_t>(i);
+      tickets.push_back(
+          service.submit(SolveRequest::from_scenario(s).discard_colors()));
+    }
+    for (SolveTicket& t : tickets) {
+      const SolveOutcome& out = t.wait();
+      if (out.status == SolveStatus::kQueueFull) {
+        ++overload.shed;
+      } else if (out.ok()) {
+        ++overload.solved;
+        ok_queue_ms.push_back(out.queue_ms);
+      }
+    }
+    overload.flood = kFlood;
+    overload.queue_p50_ms = percentile(ok_queue_ms, 0.50);
+    overload.queue_p99_ms = percentile(ok_queue_ms, 0.99);
+    overload.queue_max_ms = ok_queue_ms.empty() ? 0.0 : ok_queue_ms.back();
+
+    bench::Table overload_table({"warm", "repeats", "hits", "hit rate", "flood",
+                                 "shed", "solved", "queue p50 ms", "queue p99 ms"});
+    overload_table.row(
+        {bench::fmt(static_cast<std::int64_t>(overload.warm)),
+         bench::fmt(static_cast<std::int64_t>(overload.repeats)),
+         bench::fmt(static_cast<std::int64_t>(overload.hits)),
+         bench::fmt(overload.hit_rate, 3),
+         bench::fmt(static_cast<std::int64_t>(overload.flood)),
+         bench::fmt(static_cast<std::int64_t>(overload.shed)),
+         bench::fmt(static_cast<std::int64_t>(overload.solved)),
+         bench::fmt(overload.queue_p50_ms, 3), bench::fmt(overload.queue_p99_ms, 3)});
+    overload_table.print();
+  }
+
   bench::Table cancel_table({"graph", "edges", "ref wall ms", "ref rounds",
                              "round wall ms", "max cancel ms", "in rounds"});
   cancel_table.row({"regular-" + std::to_string(nodes) + "x" + std::to_string(degree),
@@ -460,6 +603,17 @@ int main(int argc, char** argv) {
       << (round_wall_ms > 0 ? max_latency_ms / round_wall_ms : 0.0) << "},\n";
   out << "  \"latency\": {\"queue_ms\": " << histogram_json(sweep_metrics.queue_latency_ms)
       << ",\n    \"solve_ms\": " << histogram_json(sweep_metrics.solve_latency_ms) << "},\n";
+  if (overload.ran) {
+    out << "  \"overload\": {\"ran\": true, \"warm\": " << overload.warm
+        << ", \"repeats\": " << overload.repeats << ", \"cache_hits\": " << overload.hits
+        << ", \"hit_rate\": " << overload.hit_rate << ",\n    \"flood\": " << overload.flood
+        << ", \"shed\": " << overload.shed << ", \"solved\": " << overload.solved
+        << ",\n    \"queue_p50_ms\": " << overload.queue_p50_ms
+        << ", \"queue_p99_ms\": " << overload.queue_p99_ms
+        << ", \"queue_max_ms\": " << overload.queue_max_ms << "},\n";
+  } else {
+    out << "  \"overload\": {\"ran\": false},\n";
+  }
   out << "  \"metrics_overhead\": {\"repeats\": " << overhead_repeats
       << ", \"on_best_ms\": " << on_best_ms << ", \"off_best_ms\": " << off_best_ms
       << ",\n    \"overhead_pct\": " << overhead_pct << ", \"fingerprints_match\": "
@@ -481,6 +635,24 @@ int main(int argc, char** argv) {
                  "CANCELLATION GATE MISSED: %.3f ms latency > %.1f rounds x %.3f ms\n",
                  max_latency_ms, max_cancel_rounds, round_wall_ms);
     return 1;
+  }
+  if (overload.ran) {
+    if (overload.shed == 0) {
+      std::fprintf(stderr,
+                   "OVERLOAD GATE MISSED: the unique-seed flood shed nothing "
+                   "(admission control never fired)\n");
+      return 1;
+    }
+    if (min_hit_rate > 0 && overload.hit_rate < min_hit_rate) {
+      std::fprintf(stderr, "OVERLOAD GATE MISSED: hit rate %.3f < %.3f\n",
+                   overload.hit_rate, min_hit_rate);
+      return 1;
+    }
+    if (max_queue_p99_ms > 0 && overload.queue_p99_ms > max_queue_p99_ms) {
+      std::fprintf(stderr, "OVERLOAD GATE MISSED: queue p99 %.3f ms > %.3f ms\n",
+                   overload.queue_p99_ms, max_queue_p99_ms);
+      return 1;
+    }
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 //   usage: batch_solve [--threads N] [--manifest file] [--out BENCH_batch.json]
 //                      [--seed N] [--quiet] [--shards N] [--sharded-min-edges M]
 //                      [--no-neighbor-cache] [--no-fuse-supersteps]
+//                      [--no-result-cache] [--max-queue-depth N]
 //                      [--validation-tier off|sampled|every_round] [--stressors]
 //                      [--metrics-dump metrics.prom]
 //
@@ -31,6 +32,14 @@
 // align the workload SHAPE, not the exact instance.  --metrics-dump writes
 // the process-wide MetricsRegistry (service queue/latency series, pool lane
 // time, engine cache counters) in Prometheus text format after the batch.
+// --no-result-cache disables the service's memoized-outcome cache, so a
+// manifest listing the same scenario twice solves it twice (with the cache
+// on, the repeat is served verbatim from the first solve — bit-identical
+// colors, so reports agree either way).  --max-queue-depth bounds the
+// service queue; batch_solve submits the whole manifest up front, so a bound
+// smaller than the manifest sheds the excess scenarios as queue_full (they
+// report invalid) — it exists to demo/admission-test the knob, not for
+// normal batches.
 //
 // Manifest format, one scenario per line ('#' comments):
 //   <family> <size> <flavor> <policy> [seed [aux]]
@@ -54,7 +63,8 @@ int usage() {
                "usage: batch_solve [--threads N] [--manifest file] "
                "[--out BENCH_batch.json] [--seed N] [--quiet] "
                "[--shards N] [--sharded-min-edges M] [--no-neighbor-cache] "
-               "[--no-fuse-supersteps] "
+               "[--no-fuse-supersteps] [--no-result-cache] "
+               "[--max-queue-depth N] "
                "[--validation-tier off|sampled|every_round] [--stressors] "
                "[--metrics-dump metrics.prom]\n");
   return 2;
@@ -87,6 +97,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool neighbor_cache = true;
   bool fuse_supersteps = true;
+  bool result_cache = true;
+  int max_queue_depth = 0;
   ValidationTier validation_tier = default_validation_tier();
   bool stressors = false;
   bool quiet = false;
@@ -109,6 +121,10 @@ int main(int argc, char** argv) {
       neighbor_cache = false;
     } else if (arg == "--no-fuse-supersteps") {
       fuse_supersteps = false;
+    } else if (arg == "--no-result-cache") {
+      result_cache = false;
+    } else if (arg == "--max-queue-depth" && i + 1 < argc) {
+      max_queue_depth = std::atoi(argv[++i]);
     } else if (arg == "--validation-tier" && i + 1 < argc) {
       const std::string tier = argv[++i];
       if (tier == "off") {
@@ -162,6 +178,8 @@ int main(int argc, char** argv) {
   config.fuse_supersteps = fuse_supersteps;
   config.validation_tier = validation_tier;
   if (sharded_min_edges >= 0) config.min_sharded_edges = sharded_min_edges;
+  if (!result_cache) config.max_cache_entries = 0;
+  config.max_queue_depth = max_queue_depth;
   const BatchSolver batch(config);
 
   BatchReport report;

@@ -3,6 +3,7 @@
 //   usage: cli_solve [--algorithm bko|greedy|kw|luby|central] [--seed N]
 //                    [--list-palette C] [--shards N] [--threads N]
 //                    [--no-neighbor-cache] [--no-fuse-supersteps]
+//                    [--no-result-cache] [--max-queue-depth N]
 //                    [--validation-tier off|sampled|every_round]
 //                    [--deadline-ms X] [--json] [--serial-compat]
 //                    [--metrics-dump metrics.prom] [--trace trace.json]
@@ -18,7 +19,11 @@
 // same front door the batch runtime uses: --shards N runs the solve N-way
 // parallel on the sharded backend (identical output), --threads caps the
 // shard workers, --deadline-ms bounds the wall clock (the solve stops at a
-// round boundary with status deadline_exceeded).  --json replaces the edge
+// round boundary with status deadline_exceeded), --no-result-cache bypasses
+// the service's memoized-outcome cache (one job per run makes it moot here;
+// the flag exists for parity with the service surface) and --max-queue-depth
+// bounds the service queue (over-capacity submits resolve queue_full).
+// --json replaces the edge
 // lines with one machine-readable outcome object on stdout — status, sizes,
 // rounds, timers, colors hash — for scripting against the service's outcome
 // surface; with an input FILE the request is submitted as a file source, so
@@ -61,6 +66,7 @@ int usage() {
                "usage: cli_solve [--algorithm bko|greedy|kw|luby|central] "
                "[--seed N] [--list-palette C] [--shards N] [--threads N] "
                "[--no-neighbor-cache] [--no-fuse-supersteps] "
+               "[--no-result-cache] [--max-queue-depth N] "
                "[--validation-tier off|sampled|every_round] [--deadline-ms X] "
                "[--json] [--serial-compat] [--metrics-dump metrics.prom] "
                "[--trace trace.json] [--verbose] [graph.txt]\n");
@@ -124,6 +130,9 @@ void print_json(const qplec::SolveOutcome& out, const std::string& algorithm,
   std::printf("  \"stats\": %s,\n", qplec::solver_stats_json(out.result.stats, 2).c_str());
   std::printf("  \"colors_hash\": \"%llx\",\n",
               static_cast<unsigned long long>(out.colors_hash));
+  std::printf("  \"cache_hit\": %s,\n", out.cache_hit ? "true" : "false");
+  std::printf("  \"fingerprint\": \"%llx\",\n",
+              static_cast<unsigned long long>(out.fingerprint));
   std::printf("  \"valid\": %s,\n", out.valid ? "true" : "false");
   std::printf("  \"error\": \"%s\"\n", json_escape(out.error).c_str());
   std::printf("}\n");
@@ -143,6 +152,8 @@ int main(int argc, char** argv) {
   double deadline_ms = -1.0;
   bool neighbor_cache = true;
   bool fuse_supersteps = true;
+  bool result_cache = true;
+  int max_queue_depth = 0;
   ValidationTier validation_tier = default_validation_tier();
   bool json = false;
   bool serial_compat = false;
@@ -167,6 +178,10 @@ int main(int argc, char** argv) {
       neighbor_cache = false;
     } else if (arg == "--no-fuse-supersteps") {
       fuse_supersteps = false;
+    } else if (arg == "--no-result-cache") {
+      result_cache = false;
+    } else if (arg == "--max-queue-depth" && i + 1 < argc) {
+      max_queue_depth = std::atoi(argv[++i]);
     } else if (arg == "--validation-tier" && i + 1 < argc) {
       const std::string tier = argv[++i];
       if (tier == "off") {
@@ -205,6 +220,8 @@ int main(int argc, char** argv) {
   config.fuse_supersteps = fuse_supersteps;
   config.validation_tier = validation_tier;
   config.trace_path = trace_path;
+  if (!result_cache) config.max_cache_entries = 0;
+  config.max_queue_depth = max_queue_depth;
   if (shards > 1) config.min_sharded_edges = 0;  // --shards means shard it
 
   // The service lifecycle owns the trace session when a service runs; the

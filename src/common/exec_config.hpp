@@ -144,6 +144,27 @@ struct ExecConfig {
   /// overflow, so a long solve keeps its most recent window).
   int trace_ring_capacity = 8192;
 
+  /// SolveService result cache (src/service/result_cache.hpp): completed Ok
+  /// outcomes are memoized by request fingerprint behind an LRU bounded by
+  /// BOTH of these.  Identical submits are answered from the cache
+  /// bit-identically (same colors hash/rounds/ledger — the solve is
+  /// deterministic); in-flight identical submits share ONE solve via a
+  /// lease.  Either knob at <= 0 disables the cache.  Service layer only.
+  int max_cache_entries = 256;
+  std::size_t max_cache_bytes = 64ull << 20;
+
+  /// SolveService admission control: with a positive depth, submits are
+  /// rejected fast with SolveStatus::kQueueFull once the queue holds this
+  /// many jobs — or earlier, when the request carries a deadline the queue's
+  /// estimated drain time (depth x EWMA solve time / workers) already blows.
+  /// 0 (default) keeps the seed behavior: accept everything.  Service only.
+  int max_queue_depth = 0;
+
+  /// True when the service layers a result cache over its queue.
+  bool result_cache() const {
+    return max_cache_entries > 0 && max_cache_bytes > 0;
+  }
+
   /// True when this configuration shards a graph of `num_edges` edges.
   bool wants_sharding(int num_edges) const {
     return shards > 1 && num_edges >= min_sharded_edges;

@@ -16,6 +16,7 @@
 #include "src/obs/trace.hpp"
 #include "src/runtime/batch_solver.hpp"  // hash_coloring
 #include "src/runtime/thread_pool.hpp"
+#include "src/service/result_cache.hpp"
 
 namespace qplec {
 
@@ -34,11 +35,14 @@ struct ServiceTelemetry {
   obs::Counter* outcomes[kNumSolveStatuses];
   obs::Counter& submitted;
   obs::Counter& sweeper_expired;
+  obs::Counter& shed;
   obs::Gauge& queue_depth;
   obs::Gauge& workers_busy;
   obs::Gauge& workers_total;
   obs::Histogram& queue_latency_ms;
   obs::Histogram& solve_latency_ms;
+  obs::Histogram& cache_hit_latency_ms;
+  obs::Histogram& cache_miss_latency_ms;
 
   static ServiceTelemetry& get() {
     static ServiceTelemetry* t = new ServiceTelemetry();  // never destroyed
@@ -49,13 +53,18 @@ struct ServiceTelemetry {
   ServiceTelemetry()
       : submitted(registry().counter("qplec_service_submitted_total")),
         sweeper_expired(registry().counter("qplec_service_sweeper_expired_total")),
+        shed(registry().counter("qplec_service_shed_total")),
         queue_depth(registry().gauge("qplec_service_queue_depth")),
         workers_busy(registry().gauge("qplec_service_workers_busy")),
         workers_total(registry().gauge("qplec_service_workers")),
         queue_latency_ms(registry().histogram("qplec_service_queue_latency_ms",
                                               obs::MetricsRegistry::latency_buckets_ms())),
         solve_latency_ms(registry().histogram("qplec_service_solve_latency_ms",
-                                              obs::MetricsRegistry::latency_buckets_ms())) {
+                                              obs::MetricsRegistry::latency_buckets_ms())),
+        cache_hit_latency_ms(registry().histogram("qplec_service_cache_hit_latency_ms",
+                                                  obs::MetricsRegistry::latency_buckets_ms())),
+        cache_miss_latency_ms(registry().histogram("qplec_service_cache_miss_latency_ms",
+                                                   obs::MetricsRegistry::latency_buckets_ms())) {
     for (int s = 0; s < kNumSolveStatuses; ++s) {
       outcomes[s] = &registry().counter(std::string("qplec_service_outcomes_total{status=\"") +
                                         status_name(static_cast<SolveStatus>(s)) + "\"}");
@@ -78,8 +87,21 @@ const char* terminal_event_name(SolveStatus status) {
       return "deadline-exceeded";
     case SolveStatus::kInvariantViolation:
       return "invariant-violation";
+    case SolveStatus::kQueueFull:
+      return "queue-full";
   }
   return "unknown";
+}
+
+/// EWMA of attempted solve times (alpha = 0.2), the admission controller's
+/// drain-time estimate.  Relaxed CAS: the estimate is advisory, shedding
+/// decisions tolerate a stale read.
+void note_solve_ms(std::atomic<double>& ewma, double ms) {
+  double prev = ewma.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev <= 0.0 ? ms : 0.8 * prev + 0.2 * ms;
+  } while (!ewma.compare_exchange_weak(prev, next, std::memory_order_relaxed));
 }
 
 /// The ONE queue-exit accounting step: stamps SolveOutcome::queue_ms from
@@ -122,6 +144,8 @@ const char* status_name(SolveStatus status) {
       return "deadline_exceeded";
     case SolveStatus::kInvariantViolation:
       return "invariant_violation";
+    case SolveStatus::kQueueFull:
+      return "queue_full";
   }
   return "unknown";
 }
@@ -198,6 +222,11 @@ SolveRequest& SolveRequest::label(std::string name) {
   return *this;
 }
 
+SolveRequest& SolveRequest::no_cache() {
+  use_cache_ = false;
+  return *this;
+}
+
 // ------------------------------------------------------------------- Job ---
 
 /// Shared job state: the request while pending, the outcome once done.  The
@@ -208,6 +237,13 @@ struct SolveTicket::Job {
   std::string label;  ///< copy of request.label_ for queue-side resolution
   Clock::time_point submit_time;
   SolveControl control;  ///< cancel flag / deadline / progress hook
+
+  // Result-cache linkage (set at submit, before the job is shared).  A
+  // leader owns an open lease on cache_key and must settle it on every exit
+  // path — including the stale-pop discard of a cancelled-while-queued job.
+  std::uint64_t cache_key = 0;
+  std::uint64_t lease_id = 0;
+  bool cache_leader = false;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -226,6 +262,22 @@ struct SolveTicket::Job {
     outcome.label = label;
     outcome.queue_ms = account_dequeue(submit_time);
     account_terminal(status);
+    done = true;
+    cv.notify_all();
+  }
+
+  /// Resolves this job from a completed identical solve (caller holds mu;
+  /// !done).  The outcome is the cached one verbatim except for the fields
+  /// that identify THIS submit: label, queue_ms (through the same dequeue
+  /// funnel as every other exit) and the cache_hit marker.
+  void resolve_cached_locked(const SolveOutcome& cached) {
+    SolveOutcome out = cached;
+    out.label = label;
+    out.error.clear();
+    out.cache_hit = true;
+    out.queue_ms = account_dequeue(submit_time);
+    outcome = std::move(out);
+    account_terminal(outcome.status);
     done = true;
     cv.notify_all();
   }
@@ -298,6 +350,15 @@ struct SolveService::Impl {
   std::uint64_t next_seq = 0;
   bool shutdown = false;
 
+  /// This service's result cache (per service, not process-wide: the cache
+  /// key folds in the service's config, and invalidate() scopes to it).
+  std::unique_ptr<ResultCache> cache;
+  /// Entries currently in `queue` (including stale ones awaiting discard) —
+  /// the admission controller's depth read, lock-free on the submit path.
+  std::atomic<int> pending{0};
+  /// EWMA of attempted solve times (ms); 0 until the first solve lands.
+  std::atomic<double> ewma_solve_ms{0.0};
+
   std::unique_ptr<ThreadPool> owned_shard_pool;  ///< null: serial or leased
   ThreadPool* shard_pool = nullptr;              ///< the lease handed to solves
 
@@ -313,6 +374,9 @@ SolveService::SolveService(ExecConfig config)
   // session it will export at teardown.
   obs::MetricsRegistry::global().set_enabled(config_.metrics);
   if (!config_.trace_path.empty()) trace::start(config_.trace_ring_capacity);
+
+  impl_->cache =
+      std::make_unique<ResultCache>(config_.max_cache_entries, config_.max_cache_bytes);
 
   // The shard-worker lease (PR 3 pool-ownership rules): one pool, sized once,
   // shared by every solve this service routes to the sharded backend.  It
@@ -372,21 +436,101 @@ SolveTicket SolveService::submit(SolveRequest request) {
   }
   job->control.on_round = std::move(request.on_round_);
   const int priority = request.priority_;
+  // Progress-hooked requests bypass the cache: an on_round observer wants a
+  // live solve, and a cached resolution would never fire its callback.
+  const bool use_cache =
+      request.use_cache_ && job->control.on_round == nullptr && config_.result_cache();
   job->request = std::move(request);
   job->label = job->request.label_;
 
+  ServiceTelemetry& telemetry = ServiceTelemetry::get();
+  // Every accepted submit — queued, cached, joined or shed — counts once in
+  // submitted and enters the queue-depth gauge; every resolution leaves
+  // through account_dequeue, so the gauge nets to live tickets on all paths.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  telemetry.submitted.inc();
+  telemetry.queue_depth.add(1);
+
+  if (use_cache) {
+    job->cache_key = fingerprint(job->request);
+    job->outcome.fingerprint = job->cache_key;
+    const ResultCache::Probe probe = impl_->cache->probe(job->cache_key, job);
+    if (probe.status == ResultCache::ProbeStatus::kHit) {
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->resolve_cached_locked(probe.outcome);
+      }
+      telemetry.cache_hit_latency_ms.observe(job->outcome.queue_ms);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return SolveTicket(std::move(job));
+    }
+    if (probe.status == ResultCache::ProbeStatus::kWait) {
+      // Joined an in-flight identical solve: no queue entry of its own, but
+      // deadlines still apply (the sweeper resolves an expired waiter; the
+      // leader skips it at completion).
+      if (job->control.has_deadline) {
+        {
+          std::lock_guard<std::mutex> lock(impl_->mu);
+          QPLEC_REQUIRE(!impl_->shutdown);
+          impl_->deadlines.push(Impl::DeadlineEntry{job->control.deadline, job});
+        }
+        impl_->timer_cv.notify_one();
+      }
+      return SolveTicket(std::move(job));
+    }
+  }
+
+  // Admission control — only submits that would occupy a queue slot get
+  // here (hits and lease joins above cost no worker time).  Shed when the
+  // static depth backstop trips, or when the request carries a deadline the
+  // queue's estimated drain time (depth x EWMA solve time / workers)
+  // already exceeds.
+  if (config_.max_queue_depth > 0) {
+    const int depth = impl_->pending.load(std::memory_order_relaxed);
+    const char* reason = nullptr;
+    if (depth >= config_.max_queue_depth) {
+      reason = "queue full: depth at max_queue_depth";
+    } else if (job->control.has_deadline) {
+      const double ewma = impl_->ewma_solve_ms.load(std::memory_order_relaxed);
+      const double drain_ms =
+          ewma * static_cast<double>(depth + 1) / static_cast<double>(workers());
+      if (ewma > 0.0 && drain_ms > job->request.deadline_ms_) {
+        reason = "queue full: estimated drain time exceeds deadline";
+      }
+    }
+    if (reason != nullptr) {
+      telemetry.shed.inc();
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->resolve_queued_locked(SolveStatus::kQueueFull, reason);
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return SolveTicket(std::move(job));
+    }
+  }
+
+  bool enqueue = true;
+  if (use_cache) {
+    const ResultCache::Lease lease = impl_->cache->acquire(job->cache_key, job);
+    if (lease.leader) {
+      job->cache_leader = true;
+      job->lease_id = lease.id;
+    } else {
+      enqueue = false;  // lost the install race since the probe: joined it
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     QPLEC_REQUIRE(!impl_->shutdown);
-    impl_->queue.push(Impl::Entry{priority, impl_->next_seq++, job});
+    if (enqueue) {
+      impl_->queue.push(Impl::Entry{priority, impl_->next_seq++, job});
+      impl_->pending.fetch_add(1, std::memory_order_relaxed);
+    }
     if (job->control.has_deadline) {
       impl_->deadlines.push(Impl::DeadlineEntry{job->control.deadline, job});
     }
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  ServiceTelemetry::get().submitted.inc();
-  ServiceTelemetry::get().queue_depth.add(1);
-  impl_->cv.notify_one();
+  if (enqueue) impl_->cv.notify_one();
   if (job->control.has_deadline) impl_->timer_cv.notify_one();
   return SolveTicket(std::move(job));
 }
@@ -394,6 +538,48 @@ SolveTicket SolveService::submit(SolveRequest request) {
 SolveOutcome SolveService::solve(SolveRequest request) {
   return submit(std::move(request)).wait();
 }
+
+std::uint64_t SolveService::fingerprint(const SolveRequest& request) const {
+  Fnv1a f;
+  f.mix(static_cast<int>(request.source_));
+  switch (request.source_) {
+    case SolveRequest::Source::kInstance:
+      f.mix(fingerprint_instance(request.instance_));
+      break;
+    case SolveRequest::Source::kScenario:
+      // build_instance is a pure function of the scenario fields, so the
+      // fields ARE the instance fingerprint (no O(m) hash needed).
+      f.mix(static_cast<int>(request.scenario_.family));
+      f.mix(request.scenario_.size);
+      f.mix(static_cast<int>(request.scenario_.lists));
+      f.mix(static_cast<int>(request.scenario_.policy));
+      f.mix(request.scenario_.seed);
+      f.mix(request.scenario_.aux);
+      break;
+    case SolveRequest::Source::kDimacs:
+      f.mix_string(request.path_);
+      f.mix(request.scramble_);
+      f.mix(request.scramble_seed_);
+      f.mix(static_cast<int>(request.list_palette_));
+      f.mix(request.list_seed_);
+      break;
+  }
+  // Scenario sources solve under make_policy(scenario.policy) — already
+  // mixed above; the other sources use the request's policy object.
+  if (request.source_ != SolveRequest::Source::kScenario) {
+    f.mix(fingerprint_policy(request.policy_));
+  }
+  f.mix(request.slack_);
+  f.mix(request.keep_colors_);
+  f.mix(fingerprint_exec_knobs(config_));
+  return f.h;
+}
+
+bool SolveService::invalidate(std::uint64_t fingerprint) {
+  return impl_->cache->invalidate(fingerprint);
+}
+
+void SolveService::invalidate_all() { impl_->cache->invalidate_all(); }
 
 void SolveService::worker_loop() {
   for (;;) {
@@ -405,15 +591,25 @@ void SolveService::worker_loop() {
       job = impl_->queue.top().job;
       impl_->queue.pop();
     }
+    impl_->pending.fetch_sub(1, std::memory_order_relaxed);
+    bool stale = false;
     {
       std::lock_guard<std::mutex> lock(job->mu);
       if (job->done) {  // resolved while queued (cancel()/sweeper); the
                         // resolver already accounted the dequeue — just
                         // discard the stale entry
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        continue;
+        stale = true;
+      } else {
+        job->started = true;
       }
-      job->started = true;
+    }
+    if (stale) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      // A discarded leader must not strand its lease: fail it over so every
+      // identical waiter gets a solve of its own (the cancel/expiry of ONE
+      // ticket never decides another client's outcome).
+      if (job->cache_leader) settle_lease(*job, nullptr);
+      continue;
     }
     // The claim IS the dequeue: queue time ends here on the claimed path,
     // through the same accounting step the queue-side resolvers use.
@@ -422,7 +618,15 @@ void SolveService::worker_loop() {
     job->outcome.queue_ms = account_dequeue(job->submit_time);
     run_job(*job);
     account_terminal(job->outcome.status);
+    if (job->outcome.solve_ms > 0.0) note_solve_ms(impl_->ewma_solve_ms, job->outcome.solve_ms);
     telemetry.workers_busy.add(-1);
+    // Settle the lease BEFORE done is visible: once done, the leader's
+    // ticket may take() (move out) the outcome the cache/waiters still read.
+    if (job->cache_leader) {
+      const SolveOutcome* ok = job->outcome.ok() ? &job->outcome : nullptr;
+      if (ok != nullptr) telemetry.cache_miss_latency_ms.observe(ms_since(job->submit_time));
+      settle_lease(*job, ok);
+    }
     completed_.fetch_add(1, std::memory_order_relaxed);  // before done is visible
     {
       std::lock_guard<std::mutex> lock(job->mu);
@@ -430,6 +634,65 @@ void SolveService::worker_loop() {
     }
     job->cv.notify_all();
   }
+}
+
+/// Settles a leader's cache lease: an Ok outcome populates the cache (unless
+/// invalidated mid-flight) and resolves every attached waiter with a copy; a
+/// failed one (null) populates nothing and re-routes each live waiter — the
+/// first becomes the new leader of a fresh lease and re-enters the queue,
+/// the rest attach to it.  Waiters already resolved (cancelled / sweeper-
+/// expired while waiting) are skipped; they are accounted in completed()
+/// here, since no queue entry of theirs will ever be popped.
+void SolveService::settle_lease(SolveTicket::Job& leader, const SolveOutcome* ok_outcome) {
+  ResultCache::Completion completion =
+      impl_->cache->complete(leader.cache_key, leader.lease_id, ok_outcome);
+  ServiceTelemetry& telemetry = ServiceTelemetry::get();
+  std::vector<std::shared_ptr<SolveTicket::Job>> requeue;
+  for (ResultCache::WaiterHandle& handle : completion.waiters) {
+    auto waiter = std::static_pointer_cast<SolveTicket::Job>(handle);
+    if (ok_outcome != nullptr) {
+      double hit_ms = -1.0;
+      {
+        std::lock_guard<std::mutex> lock(waiter->mu);
+        if (!waiter->done) {
+          waiter->resolve_cached_locked(*ok_outcome);
+          hit_ms = waiter->outcome.queue_ms;
+        }
+      }
+      if (hit_ms >= 0.0) telemetry.cache_hit_latency_ms.observe(hit_ms);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      bool live;
+      {
+        std::lock_guard<std::mutex> lock(waiter->mu);
+        live = !waiter->done;
+      }
+      if (!live) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const ResultCache::Lease lease = impl_->cache->acquire(waiter->cache_key, waiter);
+      if (lease.leader) {
+        waiter->cache_leader = true;
+        waiter->lease_id = lease.id;
+        requeue.push_back(std::move(waiter));
+      }
+    }
+  }
+  for (std::shared_ptr<SolveTicket::Job>& job : requeue) enqueue_job(std::move(job));
+}
+
+/// Internal re-queue for failed-lease failover: same entry shape as
+/// submit(), but legal during shutdown drain (the worker that re-routes
+/// loops back and finds the queue non-empty, so the chain still drains).
+void SolveService::enqueue_job(std::shared_ptr<SolveTicket::Job> job) {
+  const int priority = job->request.priority_;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push(Impl::Entry{priority, impl_->next_seq++, std::move(job)});
+    impl_->pending.fetch_add(1, std::memory_order_relaxed);
+  }
+  impl_->cv.notify_one();
 }
 
 // The deadline sweeper.  Before this existed, a queued ticket whose deadline
@@ -583,6 +846,17 @@ ServiceMetricsSnapshot SolveService::metrics_snapshot() const {
   s.deadline_sweeper_expired = t.sweeper_expired.value();
   s.queue_latency_ms = t.queue_latency_ms.snapshot();
   s.solve_latency_ms = t.solve_latency_ms.snapshot();
+  s.shed = t.shed.value();
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  s.cache_hits = registry.counter_value("qplec_service_cache_hits_total");
+  s.cache_misses = registry.counter_value("qplec_service_cache_misses_total");
+  s.cache_lease_joins = registry.counter_value("qplec_service_cache_lease_joins_total");
+  s.cache_evictions = registry.counter_value("qplec_service_cache_evictions_total");
+  s.cache_invalidations = registry.counter_value("qplec_service_cache_invalidations_total");
+  s.cache_entries = static_cast<std::int64_t>(impl_->cache->entries());
+  s.cache_bytes = static_cast<std::int64_t>(impl_->cache->bytes());
+  s.cache_hit_latency_ms = t.cache_hit_latency_ms.snapshot();
+  s.cache_miss_latency_ms = t.cache_miss_latency_ms.snapshot();
   return s;
 }
 

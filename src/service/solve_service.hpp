@@ -63,12 +63,17 @@ enum class SolveStatus {
   kCancelled,           ///< cancel() won the race; stopped at a round boundary
   kDeadlineExceeded,    ///< deadline passed before the solve finished
   kInvariantViolation,  ///< a paper invariant failed mid-solve (a qplec bug)
+  kQueueFull,           ///< admission control rejected the submit: the queue
+                        ///< was at ExecConfig::max_queue_depth, or its
+                        ///< estimated drain time already exceeded the
+                        ///< request's deadline.  No work was done; resubmit
+                        ///< later (outcome.queue_ms records the reject time).
 };
 
 const char* status_name(SolveStatus status);
 
 /// Number of SolveStatus values (sizes per-status telemetry arrays).
-inline constexpr int kNumSolveStatuses = 5;
+inline constexpr int kNumSolveStatuses = 6;
 
 /// Point-in-time service telemetry, read from the process-wide
 /// MetricsRegistry by SolveService::metrics_snapshot().  All series are
@@ -83,6 +88,19 @@ struct ServiceMetricsSnapshot {
   std::uint64_t deadline_sweeper_expired = 0;        ///< expired while queued
   obs::HistogramSnapshot queue_latency_ms;  ///< submission -> claim/resolve
   obs::HistogramSnapshot solve_latency_ms;  ///< the solve proper (attempted)
+
+  // Result cache + admission control (process-wide counters like the rest;
+  // entries/bytes are THIS service's cache residency).
+  std::uint64_t shed = 0;                ///< submits rejected kQueueFull
+  std::uint64_t cache_hits = 0;          ///< submits answered from the cache
+  std::uint64_t cache_misses = 0;        ///< submits that installed a lease
+  std::uint64_t cache_lease_joins = 0;   ///< submits that joined an in-flight solve
+  std::uint64_t cache_evictions = 0;     ///< entries dropped by the LRU bounds
+  std::uint64_t cache_invalidations = 0; ///< explicit invalidations
+  std::int64_t cache_entries = 0;
+  std::int64_t cache_bytes = 0;
+  obs::HistogramSnapshot cache_hit_latency_ms;   ///< submission -> cached resolve
+  obs::HistogramSnapshot cache_miss_latency_ms;  ///< submission -> leader Ok outcome
 };
 
 /// Everything the service reports about one finished job.  `result` is
@@ -111,6 +129,16 @@ struct SolveOutcome {
   double queue_ms = 0.0;  ///< submission -> start wait
   double build_ms = 0.0;  ///< instance construction (scenario/file sources)
   double solve_ms = 0.0;  ///< the solve proper
+
+  /// True when this outcome was served from the service's result cache (as a
+  /// direct hit or a lease waiter).  Everything but label/queue_ms/cache_hit
+  /// is then a verbatim copy of the underlying solve's outcome — same colors
+  /// hash, rounds, ledger and stats; build_ms/solve_ms report what that
+  /// solve actually cost, queue_ms what THIS submit waited.
+  bool cache_hit = false;
+  /// Request fingerprint the cache keyed this submit by (0 when the request
+  /// or config bypassed the cache).  Feed it to SolveService::invalidate.
+  std::uint64_t fingerprint = 0;
 
   bool ok() const { return status == SolveStatus::kOk; }
 };
@@ -159,6 +187,10 @@ class SolveRequest {
   SolveRequest& random_lists(Color palette, std::uint64_t seed);
   /// Free-form label echoed into the outcome (reports, logs).
   SolveRequest& label(std::string name);
+  /// Bypass the service's result cache for this request: always solve fresh,
+  /// and do not store the outcome.  (Requests with an on_round progress hook
+  /// bypass the cache implicitly — a progress observer wants a live solve.)
+  SolveRequest& no_cache();
 
  private:
   friend class SolveService;
@@ -181,6 +213,7 @@ class SolveRequest {
   std::uint64_t list_seed_ = 0;
   std::string label_;
   std::function<void(const RoundProgress&)> on_round_;
+  bool use_cache_ = true;
 };
 
 /// Handle to one submitted solve.  Cheap to copy (shared state); safe to
@@ -234,8 +267,29 @@ class SolveService {
   int workers() const;
   const ExecConfig& config() const { return config_; }
 
-  /// Enqueues the request and returns immediately.
+  /// Enqueues the request and returns immediately.  With the result cache
+  /// enabled (ExecConfig::result_cache()), an identical earlier Ok outcome
+  /// resolves the ticket right here (outcome.cache_hit), and an identical
+  /// in-flight solve is joined instead of duplicated (one underlying solve,
+  /// N tickets).  With max_queue_depth > 0, a submit the queue cannot absorb
+  /// resolves kQueueFull immediately instead of enqueueing.
   SolveTicket submit(SolveRequest request);
+
+  /// The fingerprint submit() keys the result cache by for this request:
+  /// instance source (scenario fields / full instance structure / file path
+  /// + id-scramble + list knobs), policy, slack, keep-colors, and the
+  /// config's solve-shaping knobs.  File sources are keyed by PATH, not
+  /// content — invalidate() when the file changes.
+  std::uint64_t fingerprint(const SolveRequest& request) const;
+
+  /// Drops the cached outcome for `fingerprint`.  An in-flight identical
+  /// solve is marked stale: its waiters still receive its outcome, but
+  /// nothing is stored — the next identical submit solves fresh.  Returns
+  /// true if there was an entry or an open lease to invalidate.
+  bool invalidate(std::uint64_t fingerprint);
+
+  /// invalidate() for every cached entry and open lease.
+  void invalidate_all();
 
   /// Convenience: submit + wait.  Must not be called from a progress
   /// callback or any other code already running on a service worker (the
@@ -257,6 +311,8 @@ class SolveService {
   void worker_loop();
   void timer_loop();
   void run_job(SolveTicket::Job& job) const;
+  void enqueue_job(std::shared_ptr<SolveTicket::Job> job);
+  void settle_lease(SolveTicket::Job& leader, const SolveOutcome* ok_outcome);
 
   ExecConfig config_;
   std::unique_ptr<Impl> impl_;
