@@ -3,7 +3,7 @@
 //   usage: batch_solve [--threads N] [--manifest file] [--out BENCH_batch.json]
 //                      [--seed N] [--quiet] [--shards N] [--sharded-min-edges M]
 //                      [--no-neighbor-cache] [--no-fuse-supersteps]
-//                      [--no-result-cache] [--max-queue-depth N]
+//                      [--no-result-cache] [--max-queue-depth N] [--churn N]
 //                      [--validation-tier off|sampled|every_round] [--stressors]
 //                      [--metrics-dump metrics.prom]
 //
@@ -39,7 +39,10 @@
 // service queue; batch_solve submits the whole manifest up front, so a bound
 // smaller than the manifest sheds the excess scenarios as queue_full (they
 // report invalid) — it exists to demo/admission-test the knob, not for
-// normal batches.
+// normal batches.  --churn N re-solves each scenario after the batch and
+// applies N random edge inserts/removes through SolveService::update, printing
+// whether each landed on the incremental repair path or fell back to a full
+// re-solve; churn failures count into the exit status.
 //
 // Manifest format, one scenario per line ('#' comments):
 //   <family> <size> <flavor> <policy> [seed [aux]]
@@ -55,6 +58,7 @@
 #include "src/runtime/batch_solver.hpp"
 #include "src/runtime/reporter.hpp"
 #include "src/runtime/scenarios.hpp"
+#include "src/service/solve_service.hpp"
 
 namespace {
 
@@ -64,9 +68,13 @@ int usage() {
                "[--out BENCH_batch.json] [--seed N] [--quiet] "
                "[--shards N] [--sharded-min-edges M] [--no-neighbor-cache] "
                "[--no-fuse-supersteps] [--no-result-cache] "
-               "[--max-queue-depth N] "
+               "[--max-queue-depth N] [--churn N] "
                "[--validation-tier off|sampled|every_round] [--stressors] "
-               "[--metrics-dump metrics.prom]\n");
+               "[--metrics-dump metrics.prom]\n"
+               "  --churn N: after the batch, re-solve each scenario through "
+               "SolveService and apply N random edge ops (half inserts, half "
+               "removes) via the incremental update path; prints a "
+               "repaired/fallback summary\n");
   return 2;
 }
 
@@ -99,6 +107,7 @@ int main(int argc, char** argv) {
   bool fuse_supersteps = true;
   bool result_cache = true;
   int max_queue_depth = 0;
+  int churn_ops = 0;
   ValidationTier validation_tier = default_validation_tier();
   bool stressors = false;
   bool quiet = false;
@@ -125,6 +134,9 @@ int main(int argc, char** argv) {
       result_cache = false;
     } else if (arg == "--max-queue-depth" && i + 1 < argc) {
       max_queue_depth = std::atoi(argv[++i]);
+    } else if (arg == "--churn" && i + 1 < argc) {
+      churn_ops = std::atoi(argv[++i]);
+      if (churn_ops <= 0) return usage();
     } else if (arg == "--validation-tier" && i + 1 < argc) {
       const std::string tier = argv[++i];
       if (tier == "off") {
@@ -216,6 +228,59 @@ int main(int argc, char** argv) {
                    r.error.empty() ? "" : ": ", r.error.c_str());
       ++invalid;
     }
+  }
+
+  // --churn demo: re-solve each scenario through its own SolveService (the
+  // batch's service is private to BatchSolver), then push N random edge ops
+  // through the incremental update path.  One scenario at a time, so
+  // --max-queue-depth never sheds these.
+  if (churn_ops > 0) {
+    SolveService service(config);
+    int repaired = 0;
+    int fell_back = 0;
+    int churn_failed = 0;
+    for (const Scenario& s : manifest) {
+      const SolveTicket base = service.submit(SolveRequest::from_scenario(s));
+      if (!base.wait().ok()) {
+        std::fprintf(stderr, "CHURN base solve failed for %s\n", s.name().c_str());
+        ++churn_failed;
+        continue;
+      }
+      ChurnBatch ops;
+      try {
+        // build_instance is pure, so this graph is bit-identical to the one
+        // the service snapshot holds; ops generated here validate there.
+        const ListEdgeColoringInstance instance = build_instance(s);
+        ops = make_random_churn(instance.graph, churn_ops - churn_ops / 2,
+                                churn_ops / 2, seed ^ s.seed);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "CHURN batch for %s: %s\n", s.name().c_str(), e.what());
+        ++churn_failed;
+        continue;
+      }
+      const SolveOutcome up = service.update(base, std::move(ops)).wait();
+      if (!up.ok() || !up.valid) {
+        std::fprintf(stderr, "CHURN update failed for %s%s%s\n", s.name().c_str(),
+                     up.error.empty() ? "" : ": ", up.error.c_str());
+        ++churn_failed;
+        continue;
+      }
+      if (up.repaired) {
+        ++repaired;
+      } else {
+        ++fell_back;
+      }
+      if (!quiet) {
+        std::printf("churn %-40s %s region=%d solve_ms=%.2f\n", s.name().c_str(),
+                    up.repaired ? "repaired" : "fallback", up.repair_region_edges,
+                    up.solve_ms);
+      }
+    }
+    if (!quiet) {
+      std::printf("churn summary: %d repaired, %d fallback, %d failed (%d ops each)\n",
+                  repaired, fell_back, churn_failed, churn_ops);
+    }
+    invalid += churn_failed;
   }
   return invalid == 0 ? 0 : 1;
 }

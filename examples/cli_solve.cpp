@@ -67,9 +67,15 @@ int usage() {
                "[--seed N] [--list-palette C] [--shards N] [--threads N] "
                "[--no-neighbor-cache] [--no-fuse-supersteps] "
                "[--no-result-cache] [--max-queue-depth N] "
+               "[--recolor-budget N] [--churn-file ops.txt] "
                "[--validation-tier off|sampled|every_round] [--deadline-ms X] "
                "[--json] [--serial-compat] [--metrics-dump metrics.prom] "
-               "[--trace trace.json] [--verbose] [graph.txt]\n");
+               "[--trace trace.json] [--verbose] [graph.txt]\n"
+               "  --churn-file: after the base solve, apply the edge churn "
+               "batch ('i u v' / 'r u v' lines) via SolveService::update and "
+               "print a second outcome record (bko --json only); "
+               "--recolor-budget caps the repair region before the update "
+               "falls back to a full re-solve\n");
   return 2;
 }
 
@@ -133,6 +139,9 @@ void print_json(const qplec::SolveOutcome& out, const std::string& algorithm,
   std::printf("  \"cache_hit\": %s,\n", out.cache_hit ? "true" : "false");
   std::printf("  \"fingerprint\": \"%llx\",\n",
               static_cast<unsigned long long>(out.fingerprint));
+  std::printf("  \"churn_update\": %s,\n", out.churn_update ? "true" : "false");
+  std::printf("  \"repaired\": %s,\n", out.repaired ? "true" : "false");
+  std::printf("  \"repair_region_edges\": %d,\n", out.repair_region_edges);
   std::printf("  \"valid\": %s,\n", out.valid ? "true" : "false");
   std::printf("  \"error\": \"%s\"\n", json_escape(out.error).c_str());
   std::printf("}\n");
@@ -154,6 +163,8 @@ int main(int argc, char** argv) {
   bool fuse_supersteps = true;
   bool result_cache = true;
   int max_queue_depth = 0;
+  std::int64_t recolor_budget = ExecConfig{}.recolor_budget;
+  std::string churn_file;
   ValidationTier validation_tier = default_validation_tier();
   bool json = false;
   bool serial_compat = false;
@@ -182,6 +193,10 @@ int main(int argc, char** argv) {
       result_cache = false;
     } else if (arg == "--max-queue-depth" && i + 1 < argc) {
       max_queue_depth = std::atoi(argv[++i]);
+    } else if (arg == "--recolor-budget" && i + 1 < argc) {
+      recolor_budget = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--churn-file" && i + 1 < argc) {
+      churn_file = argv[++i];
     } else if (arg == "--validation-tier" && i + 1 < argc) {
       const std::string tier = argv[++i];
       if (tier == "off") {
@@ -222,7 +237,16 @@ int main(int argc, char** argv) {
   config.trace_path = trace_path;
   if (!result_cache) config.max_cache_entries = 0;
   config.max_queue_depth = max_queue_depth;
+  config.recolor_budget = recolor_budget;
   if (shards > 1) config.min_sharded_edges = 0;  // --shards means shard it
+
+  // --churn-file drives SolveService::update — only meaningful where the
+  // service runs AND the output is the machine-readable record (the text
+  // path prints the BASE graph's edges; churned edges would not line up).
+  if (!churn_file.empty() && (algorithm != "bko" || serial_compat || !json)) {
+    std::fprintf(stderr, "--churn-file requires --json and the bko service path\n");
+    return usage();
+  }
 
   // The service lifecycle owns the trace session when a service runs; the
   // direct paths (--serial-compat, baselines) open and export it here.
@@ -259,19 +283,40 @@ int main(int argc, char** argv) {
   // edge lines are replaced by the JSON record anyway.
   if (service_file_source) {
     SolveOutcome out;
+    SolveOutcome churn_out;
+    bool ran_churn = false;
     {
       SolveService service(config);
       SolveRequest request = SolveRequest::from_dimacs(path).scramble_ids(seed).label(path);
       if (list_palette > 0) request.random_lists(list_palette, seed + 1);
       if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
-      out = service.solve(std::move(request));
+      const SolveTicket ticket = service.submit(std::move(request));
+      out = ticket.wait();
+      if (!churn_file.empty() && out.ok()) {
+        // The update rides the completed ticket: churn parse errors and
+        // inconsistent batches come back as a kInvalidInstance record, same
+        // as every other service failure.
+        try {
+          churn_out = service.update(ticket, parse_churn_file(churn_file)).wait();
+        } catch (const std::exception& e) {
+          churn_out.status = SolveStatus::kInvalidInstance;
+          churn_out.churn_update = true;
+          churn_out.error = e.what();
+        }
+        ran_churn = true;
+      }
     }  // service teardown exports the trace before the metrics dump below
     finish_observability();
     print_json(out, algorithm, out.result.initial_rounds, wall_ms());
+    if (ran_churn) {
+      print_json(churn_out, "bko-churn", churn_out.result.initial_rounds, wall_ms());
+    }
     if (verbose && !out.result.round_report.empty()) {
       std::fprintf(stderr, "%s", out.result.round_report.c_str());
     }
-    return out.ok() && out.valid ? 0 : 1;
+    const bool base_ok = out.ok() && out.valid;
+    const bool churn_ok = !ran_churn || (churn_out.ok() && churn_out.valid);
+    return base_ok && churn_ok ? 0 : 1;
   }
 
   // --json must always leave one outcome record on stdout, error paths
@@ -320,6 +365,8 @@ int main(int argc, char** argv) {
   out.palette_size = instance.palette_size;
   out.shards = 1;
 
+  SolveOutcome churn_out;
+  bool ran_churn = false;
   const auto solve_start = std::chrono::steady_clock::now();
   try {
     if (algorithm == "bko" && !serial_compat) {
@@ -327,7 +374,18 @@ int main(int argc, char** argv) {
         SolveService service(config);
         SolveRequest request = SolveRequest::from_instance(instance).label("cli_solve");
         if (deadline_ms >= 0) request.deadline_ms(deadline_ms);
-        out = service.solve(std::move(request));
+        const SolveTicket ticket = service.submit(std::move(request));
+        out = ticket.wait();
+        if (!churn_file.empty() && out.ok()) {
+          try {
+            churn_out = service.update(ticket, parse_churn_file(churn_file)).wait();
+          } catch (const std::exception& e) {
+            churn_out.status = SolveStatus::kInvalidInstance;
+            churn_out.churn_update = true;
+            churn_out.error = e.what();
+          }
+          ran_churn = true;
+        }
       }  // teardown exports the trace
     } else if (algorithm == "bko") {
       // --serial-compat: the direct, throwing Solver path (the reference the
@@ -378,10 +436,14 @@ int main(int argc, char** argv) {
 
   if (json) {
     print_json(out, algorithm, out.result.initial_rounds, wall_ms());
+    if (ran_churn) {
+      print_json(churn_out, "bko-churn", churn_out.result.initial_rounds, wall_ms());
+    }
     if (verbose && !out.result.round_report.empty()) {
       std::fprintf(stderr, "%s", out.result.round_report.c_str());
     }
-    return out.ok() && out.valid ? 0 : 1;
+    const bool churn_ok = !ran_churn || (churn_out.ok() && churn_out.valid);
+    return out.ok() && out.valid && churn_ok ? 0 : 1;
   }
 
   if (!out.ok()) {

@@ -156,9 +156,20 @@ struct ExecConfig {
   /// SolveService admission control: with a positive depth, submits are
   /// rejected fast with SolveStatus::kQueueFull once the queue holds this
   /// many jobs — or earlier, when the request carries a deadline the queue's
-  /// estimated drain time (depth x EWMA solve time / workers) already blows.
-  /// 0 (default) keeps the seed behavior: accept everything.  Service only.
+  /// estimated drain time ((depth + in-flight) x EWMA solve time / workers)
+  /// already blows.  0 (default) keeps the seed behavior: accept everything.
+  /// Service layer only.
   int max_queue_depth = 0;
+
+  /// Incremental-recolor budget for SolveService::update (src/core/recolor):
+  /// a churn repair whose region payload — the sum of line-graph degrees
+  /// over the edges needing new colors — exceeds this falls back to a full
+  /// re-solve of the mutated instance (then bit-identical to a from-scratch
+  /// submit).  <= 0 disables local repair entirely: every update falls back.
+  /// This mirrors NeighborColorCache's materialization budget at
+  /// repair-region scale: the repair materializes live rows only for the
+  /// region, so the budget bounds that allocation too.
+  std::int64_t recolor_budget = std::int64_t{1} << 20;
 
   /// True when the service layers a result cache over its queue.
   bool result_cache() const {

@@ -3,7 +3,7 @@
 namespace qplec {
 
 NeighborColorCache::NeighborColorCache(const Graph& g, const EdgeColoring& final,
-                                       const ExecBackend& exec)
+                                       const ExecBackend& exec, const EdgeSubset* rows)
     : g_(&g),
       final_(&final),
       exec_(&exec),
@@ -11,20 +11,27 @@ NeighborColorCache::NeighborColorCache(const Graph& g, const EdgeColoring& final
       queues_(exec.lanes()),
       drops_(exec.lanes()) {
   QPLEC_REQUIRE(final.size() == static_cast<std::size_t>(num_edges_));
+  QPLEC_REQUIRE(rows == nullptr || rows->universe_size() == num_edges_);
   const std::size_t m = static_cast<std::size_t>(num_edges_);
   pending_.resize(m);
   offsets_.resize(m + 1, 0);
   live_count_.resize(m, 0);
   row_epoch_.resize(m, 0);
+  // Churn-delta build: a restricted `rows` subset gets zero-width rows for
+  // every non-member, so the payload scales with the repair region, not the
+  // graph.
   for (std::size_t e = 0; e < m; ++e) {
-    offsets_[e + 1] = offsets_[e] +
-                      static_cast<std::size_t>(g.edge_degree(static_cast<EdgeId>(e)));
+    const bool materialize = rows == nullptr || rows->contains(static_cast<EdgeId>(e));
+    offsets_[e + 1] =
+        offsets_[e] +
+        (materialize ? static_cast<std::size_t>(g.edge_degree(static_cast<EdgeId>(e))) : 0);
   }
   nbrs_.resize(offsets_[m]);
   // Row fill runs over the backend's unique-writer edge ranges: each lane
   // fills exactly the CSR rows of the edges it owns.
   exec_->for_edge_ranges(num_edges_, [&](int, EdgeId begin, EdgeId end) {
     for (EdgeId e = begin; e < end; ++e) {
+      if (rows != nullptr && !rows->contains(e)) continue;
       std::size_t w = offsets_[static_cast<std::size_t>(e)];
       g_->for_each_edge_neighbor(e, [&](EdgeId f) { nbrs_[w++] = f; });
       live_count_[static_cast<std::size_t>(e)] =

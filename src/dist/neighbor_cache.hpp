@@ -74,7 +74,15 @@ class NeighborColorCache {
   /// kUncolored until finalized); both g and final must outlive the cache.
   /// `exec` supplies the lanes the delta queues and drop counters are
   /// indexed by; the row fill runs over its unique-writer edge ranges.
-  NeighborColorCache(const Graph& g, const EdgeColoring& final, const ExecBackend& exec);
+  ///
+  /// `rows` (optional) restricts which edges get a materialized live row —
+  /// the churn-delta build: an incremental recolor (src/core/recolor) only
+  /// ever sweeps the repair region, so it materializes rows for those edges
+  /// alone instead of paying the full Theta(sum of deg^2) rebuild.  Edges
+  /// outside `rows` get an empty row (their consume/iterate calls are
+  /// no-ops); nullptr keeps the full build for every edge.
+  explicit NeighborColorCache(const Graph& g, const EdgeColoring& final, const ExecBackend& exec,
+                              const EdgeSubset* rows = nullptr);
 
   int num_lanes() const { return queues_.num_lanes(); }
 

@@ -16,6 +16,18 @@ GraphBuilder& GraphBuilder::add_edge(NodeId u, NodeId v) {
   return *this;
 }
 
+GraphBuilder& GraphBuilder::carry_local_ids(const Graph& from) {
+  QPLEC_REQUIRE_MSG(from.num_nodes() == num_nodes_,
+                    "carry_local_ids: node count mismatch (" << from.num_nodes() << " vs "
+                                                             << num_nodes_ << ")");
+  local_ids_.resize(static_cast<std::size_t>(num_nodes_));
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    local_ids_[static_cast<std::size_t>(v)] = from.local_id(v);
+  }
+  max_local_id_ = from.max_local_id();
+  return *this;
+}
+
 Graph GraphBuilder::build() const {
   std::vector<EdgeEndpoints> edges = pending_;
   std::sort(edges.begin(), edges.end(), [](const EdgeEndpoints& a, const EdgeEndpoints& b) {
@@ -52,11 +64,16 @@ Graph GraphBuilder::build() const {
               [](const Incidence& a, const Incidence& b) { return a.neighbor < b.neighbor; });
   }
 
-  g.local_ids_.resize(static_cast<std::size_t>(num_nodes_));
-  for (int v = 0; v < num_nodes_; ++v) {
-    g.local_ids_[static_cast<std::size_t>(v)] = static_cast<std::uint64_t>(v) + 1;
+  if (!local_ids_.empty()) {
+    g.local_ids_ = local_ids_;
+    g.max_local_id_ = max_local_id_;
+  } else {
+    g.local_ids_.resize(static_cast<std::size_t>(num_nodes_));
+    for (int v = 0; v < num_nodes_; ++v) {
+      g.local_ids_[static_cast<std::size_t>(v)] = static_cast<std::uint64_t>(v) + 1;
+    }
+    g.max_local_id_ = static_cast<std::uint64_t>(num_nodes_);
   }
-  g.max_local_id_ = static_cast<std::uint64_t>(num_nodes_);
 
   g.max_degree_ = 0;
   for (int v = 0; v < num_nodes_; ++v) g.max_degree_ = std::max(g.max_degree_, g.degree(v));

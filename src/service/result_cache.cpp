@@ -110,16 +110,20 @@ std::uint64_t fingerprint_exec_knobs(const ExecConfig& config) {
   f.mix(config.fuse_supersteps);
   f.mix(static_cast<int>(config.validation_tier));
   f.mix(config.validation_sample_period);
+  // The repair/fallback decision changes an update's rounds/ledger surface,
+  // so a different budget must be a different cache key.
+  f.mix(config.recolor_budget);
   return f.h;
 }
 
 std::size_t estimate_outcome_bytes(const SolveOutcome& outcome) {
   // SolverStats is flat (ints/doubles + a RoundProfile of the same), so the
-  // heap footprint is the coloring plus the strings.
-  return sizeof(SolveOutcome) +
-         outcome.result.colors.capacity() * sizeof(Color) +
-         outcome.result.round_report.capacity() + outcome.error.capacity() +
-         outcome.label.capacity();
+  // heap footprint is the coloring plus the strings.  size(), not
+  // capacity(): this prices what an outcome NEEDS to hold — the store path
+  // shrinks its copy to fit before admission, so accounting by capacity
+  // would charge (and evict for) slack the cache never keeps.
+  return sizeof(SolveOutcome) + outcome.result.colors.size() * sizeof(Color) +
+         outcome.result.round_report.size() + outcome.error.size() + outcome.label.size();
 }
 
 // --- ResultCache -------------------------------------------------------------
@@ -216,7 +220,15 @@ ResultCache::Completion ResultCache::complete(std::uint64_t key, LeaseId id,
         evict_for_locked(need);
         evicted = static_cast<std::uint64_t>(lru_before - lru_.size());
         entry.ready = true;
-        entry.outcome = *outcome;
+        // Store a copy shrunk to its estimated footprint: the leader's
+        // vectors/strings may carry growth slack the resident entry should
+        // not (estimate_outcome_bytes prices size, so make capacity match).
+        SolveOutcome stored = *outcome;
+        stored.result.colors.shrink_to_fit();
+        stored.result.round_report.shrink_to_fit();
+        stored.error.shrink_to_fit();
+        stored.label.shrink_to_fit();
+        entry.outcome = std::move(stored);
         entry.bytes = need;
         lru_.push_front(key);
         entry.lru_it = lru_.begin();

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <fstream>
+#include <list>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -36,6 +39,9 @@ struct ServiceTelemetry {
   obs::Counter& submitted;
   obs::Counter& sweeper_expired;
   obs::Counter& shed;
+  obs::Counter& update_total;
+  obs::Counter& update_repaired;
+  obs::Counter& update_fallback;
   obs::Gauge& queue_depth;
   obs::Gauge& workers_busy;
   obs::Gauge& workers_total;
@@ -54,6 +60,9 @@ struct ServiceTelemetry {
       : submitted(registry().counter("qplec_service_submitted_total")),
         sweeper_expired(registry().counter("qplec_service_sweeper_expired_total")),
         shed(registry().counter("qplec_service_shed_total")),
+        update_total(registry().counter("qplec_service_update_total")),
+        update_repaired(registry().counter("qplec_service_update_repaired_total")),
+        update_fallback(registry().counter("qplec_service_update_fallback_total")),
         queue_depth(registry().gauge("qplec_service_queue_depth")),
         workers_busy(registry().gauge("qplec_service_workers_busy")),
         workers_total(registry().gauge("qplec_service_workers")),
@@ -245,6 +254,15 @@ struct SolveTicket::Job {
   std::uint64_t lease_id = 0;
   bool cache_leader = false;
 
+  // Churn-snapshot linkage.  snapshot_key is the request fingerprint an Ok
+  // outcome of this job registers its snapshot under — set at submit
+  // whenever the request is updatable (cacheable shape, colors kept, exact
+  // solve), even when the result cache itself is configured off: update()
+  // works either way.  The worker fills `snapshot` in run_job/run_churn_job
+  // and registers it after the solve, outside the job mutex.
+  std::uint64_t snapshot_key = 0;
+  std::shared_ptr<const ChurnSnapshot> snapshot;
+
   std::mutex mu;
   std::condition_variable cv;
   bool started = false;  ///< a worker claimed it (cancel() then only flags)
@@ -356,8 +374,71 @@ struct SolveService::Impl {
   /// Entries currently in `queue` (including stale ones awaiting discard) —
   /// the admission controller's depth read, lock-free on the submit path.
   std::atomic<int> pending{0};
+  /// Jobs a worker is currently running.  The drain-time estimate counts
+  /// them alongside the queued depth: a full complement of in-flight solves
+  /// delays a new submit exactly like queued ones do.
+  std::atomic<int> inflight{0};
   /// EWMA of attempted solve times (ms); 0 until the first solve lands.
   std::atomic<double> ewma_solve_ms{0.0};
+
+  // --- Churn-snapshot registry -------------------------------------------
+  // What update() starts from: the instance+colors+policy of completed
+  // updatable solves, keyed by outcome fingerprint.  LRU-bounded by entries
+  // AND bytes like the result cache (stressor instances run tens of MB) but
+  // independent of it — snapshots exist even with the result cache off.
+  // Guarded by `mu`.
+  struct SnapshotEntry {
+    std::shared_ptr<const ChurnSnapshot> snapshot;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<std::uint64_t, SnapshotEntry> snapshots;
+  std::list<std::uint64_t> snapshot_lru;  ///< front = most recently used
+  std::size_t snapshot_bytes = 0;
+  int snapshot_max_entries = 64;
+  std::size_t snapshot_max_bytes = 64ull << 20;
+
+  void register_snapshot_locked(std::uint64_t key, std::shared_ptr<const ChurnSnapshot> snap) {
+    const std::size_t need = estimate_snapshot_bytes(*snap);
+    if (need > snapshot_max_bytes) return;  // too large to ever retain
+    auto it = snapshots.find(key);
+    if (it != snapshots.end()) {
+      snapshot_bytes -= it->second.bytes;
+      snapshot_lru.erase(it->second.lru_it);
+      snapshots.erase(it);
+    }
+    while (!snapshot_lru.empty() &&
+           (static_cast<int>(snapshots.size()) >= snapshot_max_entries ||
+            snapshot_bytes + need > snapshot_max_bytes)) {
+      const std::uint64_t victim = snapshot_lru.back();
+      snapshot_lru.pop_back();
+      auto vit = snapshots.find(victim);
+      snapshot_bytes -= vit->second.bytes;
+      snapshots.erase(vit);
+    }
+    snapshot_lru.push_front(key);
+    snapshots.emplace(key, SnapshotEntry{std::move(snap), need, snapshot_lru.begin()});
+    snapshot_bytes += need;
+  }
+
+  std::shared_ptr<const ChurnSnapshot> find_snapshot(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = snapshots.find(key);
+    if (it == snapshots.end()) return nullptr;
+    snapshot_lru.erase(it->second.lru_it);
+    snapshot_lru.push_front(key);
+    it->second.lru_it = snapshot_lru.begin();
+    return it->second.snapshot;
+  }
+
+  bool drop_snapshot_locked(std::uint64_t key) {
+    auto it = snapshots.find(key);
+    if (it == snapshots.end()) return false;
+    snapshot_bytes -= it->second.bytes;
+    snapshot_lru.erase(it->second.lru_it);
+    snapshots.erase(it);
+    return true;
+  }
 
   std::unique_ptr<ThreadPool> owned_shard_pool;  ///< null: serial or leased
   ThreadPool* shard_pool = nullptr;              ///< the lease handed to solves
@@ -377,6 +458,11 @@ SolveService::SolveService(ExecConfig config)
 
   impl_->cache =
       std::make_unique<ResultCache>(config_.max_cache_entries, config_.max_cache_bytes);
+  // The snapshot registry inherits the cache bounds when they are positive,
+  // but stays alive on its defaults when the result cache is configured off
+  // (update() does not depend on outcome caching).
+  if (config_.max_cache_entries > 0) impl_->snapshot_max_entries = config_.max_cache_entries;
+  if (config_.max_cache_bytes > 0) impl_->snapshot_max_bytes = config_.max_cache_bytes;
 
   // The shard-worker lease (PR 3 pool-ownership rules): one pool, sized once,
   // shared by every solve this service routes to the sharded backend.  It
@@ -440,6 +526,11 @@ SolveTicket SolveService::submit(SolveRequest request) {
   // live solve, and a cached resolution would never fire its callback.
   const bool use_cache =
       request.use_cache_ && job->control.on_round == nullptr && config_.result_cache();
+  // Updatable = the Ok outcome registers a churn snapshot update() can chain
+  // from: cacheable request shape, colors kept, exact (non-relaxed) solve.
+  // Independent of whether the result cache is configured on.
+  const bool updatable = request.use_cache_ && job->control.on_round == nullptr &&
+                         request.keep_colors_ && request.slack_ == 1.0;
   job->request = std::move(request);
   job->label = job->request.label_;
 
@@ -451,9 +542,13 @@ SolveTicket SolveService::submit(SolveRequest request) {
   telemetry.submitted.inc();
   telemetry.queue_depth.add(1);
 
+  if (use_cache || updatable) {
+    const std::uint64_t fp = fingerprint(job->request);
+    if (use_cache) job->cache_key = fp;
+    if (updatable) job->snapshot_key = fp;
+    job->outcome.fingerprint = fp;
+  }
   if (use_cache) {
-    job->cache_key = fingerprint(job->request);
-    job->outcome.fingerprint = job->cache_key;
     const ResultCache::Probe probe = impl_->cache->probe(job->cache_key, job);
     if (probe.status == ResultCache::ProbeStatus::kHit) {
       {
@@ -483,8 +578,10 @@ SolveTicket SolveService::submit(SolveRequest request) {
   // Admission control — only submits that would occupy a queue slot get
   // here (hits and lease joins above cost no worker time).  Shed when the
   // static depth backstop trips, or when the request carries a deadline the
-  // queue's estimated drain time (depth x EWMA solve time / workers)
-  // already exceeds.
+  // queue's estimated drain time ((depth + in-flight) x EWMA solve time /
+  // workers) already exceeds.  In-flight solves count: a submit landing on
+  // a saturated worker set waits for one of them to finish even when the
+  // queue itself is empty.
   if (config_.max_queue_depth > 0) {
     const int depth = impl_->pending.load(std::memory_order_relaxed);
     const char* reason = nullptr;
@@ -492,8 +589,9 @@ SolveTicket SolveService::submit(SolveRequest request) {
       reason = "queue full: depth at max_queue_depth";
     } else if (job->control.has_deadline) {
       const double ewma = impl_->ewma_solve_ms.load(std::memory_order_relaxed);
-      const double drain_ms =
-          ewma * static_cast<double>(depth + 1) / static_cast<double>(workers());
+      const int inflight = impl_->inflight.load(std::memory_order_relaxed);
+      const double drain_ms = ewma * static_cast<double>(depth + inflight + 1) /
+                              static_cast<double>(workers());
       if (ewma > 0.0 && drain_ms > job->request.deadline_ms_) {
         reason = "queue full: estimated drain time exceeds deadline";
       }
@@ -556,12 +654,28 @@ std::uint64_t SolveService::fingerprint(const SolveRequest& request) const {
       f.mix(request.scenario_.seed);
       f.mix(request.scenario_.aux);
       break;
-    case SolveRequest::Source::kDimacs:
+    case SolveRequest::Source::kDimacs: {
       f.mix_string(request.path_);
+      // Content identity, not just path identity: a rewritten file must be a
+      // cache MISS, so mix the current size and mtime.  A stat failure mixes
+      // zeros (the submit will surface the real error as kInvalidInstance).
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(request.path_, ec);
+      f.mix(ec ? std::uint64_t{0} : static_cast<std::uint64_t>(size));
+      const auto mtime = std::filesystem::last_write_time(request.path_, ec);
+      f.mix(ec ? std::uint64_t{0}
+               : static_cast<std::uint64_t>(mtime.time_since_epoch().count()));
       f.mix(request.scramble_);
       f.mix(request.scramble_seed_);
       f.mix(static_cast<int>(request.list_palette_));
       f.mix(request.list_seed_);
+      break;
+    }
+    case SolveRequest::Source::kChurn:
+      // The derived-fingerprint rule: the base outcome's fingerprint chained
+      // with the batch (order-sensitive).  Policy/slack/knobs mix below like
+      // every other source, so a chain is re-derivable from (base fp, ops).
+      f.mix(chain_fingerprint(request.churn_base_key_, request.churn_ops_));
       break;
   }
   // Scenario sources solve under make_policy(scenario.policy) — already
@@ -576,10 +690,22 @@ std::uint64_t SolveService::fingerprint(const SolveRequest& request) const {
 }
 
 bool SolveService::invalidate(std::uint64_t fingerprint) {
-  return impl_->cache->invalidate(fingerprint);
+  const bool cache_dropped = impl_->cache->invalidate(fingerprint);
+  bool snapshot_dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    snapshot_dropped = impl_->drop_snapshot_locked(fingerprint);
+  }
+  return cache_dropped || snapshot_dropped;
 }
 
-void SolveService::invalidate_all() { impl_->cache->invalidate_all(); }
+void SolveService::invalidate_all() {
+  impl_->cache->invalidate_all();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->snapshots.clear();
+  impl_->snapshot_lru.clear();
+  impl_->snapshot_bytes = 0;
+}
 
 void SolveService::worker_loop() {
   for (;;) {
@@ -615,11 +741,20 @@ void SolveService::worker_loop() {
     // through the same accounting step the queue-side resolvers use.
     ServiceTelemetry& telemetry = ServiceTelemetry::get();
     telemetry.workers_busy.add(1);
+    impl_->inflight.fetch_add(1, std::memory_order_relaxed);
     job->outcome.queue_ms = account_dequeue(job->submit_time);
     run_job(*job);
+    impl_->inflight.fetch_sub(1, std::memory_order_relaxed);
     account_terminal(job->outcome.status);
     if (job->outcome.solve_ms > 0.0) note_solve_ms(impl_->ewma_solve_ms, job->outcome.solve_ms);
     telemetry.workers_busy.add(-1);
+    // An Ok updatable solve registers its churn snapshot before done is
+    // visible, so a wait()-then-update() never races the registration.
+    if (job->outcome.ok() && job->snapshot != nullptr) {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->register_snapshot_locked(job->snapshot_key, std::move(job->snapshot));
+    }
+    job->snapshot = nullptr;
     // Settle the lease BEFORE done is visible: once done, the leader's
     // ticket may take() (move out) the outcome the cache/waiters still read.
     if (job->cache_leader) {
@@ -729,6 +864,10 @@ void SolveService::timer_loop() {
 
 void SolveService::run_job(SolveTicket::Job& job) const {
   const SolveRequest& req = job.request;
+  if (req.source_ == SolveRequest::Source::kChurn) {
+    run_churn_job(job);
+    return;
+  }
   SolveOutcome& out = job.outcome;
   out.label = req.label_;
   // queue_ms was stamped by the claiming worker (the one dequeue point).
@@ -772,6 +911,8 @@ void SolveService::run_job(SolveTicket::Job& job) const {
                        : make_two_delta_instance(std::move(g));
         break;
       }
+      case SolveRequest::Source::kChurn:
+        break;  // unreachable: dispatched to run_churn_job above
     }
   } catch (const std::exception& e) {
     out.status = SolveStatus::kInvalidInstance;
@@ -804,6 +945,15 @@ void SolveService::run_job(SolveTicket::Job& job) const {
     out.solve_ms = ms_since(solve_start);
     out.colors_hash = hash_coloring(res.colors);
     out.valid = is_valid_list_coloring(instance, res.colors);
+    if (job.snapshot_key != 0) {
+      // Retain what update() chains from: the exact instance that was
+      // solved, its colors, and the policy that produced them.
+      auto snap = std::make_shared<ChurnSnapshot>();
+      snap->colors = res.colors;
+      snap->policy = policy;
+      snap->instance = std::move(instance);
+      job.snapshot = std::move(snap);
+    }
     if (!req.keep_colors_) {
       res.colors.clear();
       res.colors.shrink_to_fit();
@@ -835,6 +985,154 @@ void SolveService::run_job(SolveTicket::Job& job) const {
   ServiceTelemetry::get().solve_latency_ms.observe(out.solve_ms);
 }
 
+/// The churn-update worker path: plan the mutation, repair (or fall back and
+/// re-solve), and capture the repaired state as the next snapshot in the
+/// chain.  Mirrors run_job's accounting exactly — same early exits, build/
+/// solve spans, metadata, hash/validity, exception taxonomy and latency
+/// sample — so an update's outcome is shaped like any other solve's.
+void SolveService::run_churn_job(SolveTicket::Job& job) const {
+  const SolveRequest& req = job.request;
+  SolveOutcome& out = job.outcome;
+  out.label = req.label_;
+  out.churn_update = true;
+  out.base_fingerprint = req.churn_base_key_;
+
+  if (job.control.cancel.load(std::memory_order_relaxed)) {
+    out.status = SolveStatus::kCancelled;
+    out.error = "cancelled before start";
+    return;
+  }
+  if (job.control.has_deadline && Clock::now() >= job.control.deadline) {
+    out.status = SolveStatus::kDeadlineExceeded;
+    out.error = "deadline expired while queued";
+    return;
+  }
+
+  const std::shared_ptr<const ChurnSnapshot> base = req.churn_base_;
+  RecolorPlan plan;
+  const auto build_start = Clock::now();
+  try {
+    plan = plan_recolor(base->instance, base->colors, req.churn_ops_.ops);
+  } catch (const std::exception& e) {
+    out.status = SolveStatus::kInvalidInstance;
+    out.error = e.what();
+    return;
+  }
+  out.build_ms = ms_since(build_start);
+  if (trace::enabled()) {
+    const auto us = static_cast<std::int64_t>(out.build_ms * 1000.0);
+    trace::complete("build", "service", trace::now_us() - us, us);
+  }
+  out.num_nodes = plan.mutated.graph.num_nodes();
+  out.num_edges = plan.mutated.graph.num_edges();
+  out.max_degree = plan.mutated.graph.max_degree();
+  out.max_edge_degree = plan.mutated.graph.max_edge_degree();
+  out.palette_size = plan.mutated.palette_size;
+
+  const ExecConfig exec = config_.with_pool(impl_->shard_pool);
+  out.shards = exec.effective_shards(out.num_edges);
+  ServiceTelemetry& telemetry = ServiceTelemetry::get();
+
+  const auto solve_start = Clock::now();
+  try {
+    RecolorOutcome rec = repair_recolor(plan, base->policy, exec, &job.control);
+    out.solve_ms = ms_since(solve_start);
+    out.repaired = !rec.fallback;
+    out.repair_region_edges = rec.region_edges;
+    (rec.fallback ? telemetry.update_fallback : telemetry.update_repaired).inc();
+    out.colors_hash = hash_coloring(rec.result.colors);
+    out.valid = is_valid_list_coloring(plan.mutated, rec.result.colors);
+    if (job.snapshot_key != 0) {
+      auto snap = std::make_shared<ChurnSnapshot>();
+      snap->colors = rec.result.colors;
+      snap->policy = base->policy;
+      snap->instance = std::move(plan.mutated);
+      job.snapshot = std::move(snap);
+    }
+    out.result = std::move(rec.result);
+    out.status = SolveStatus::kOk;
+  } catch (const SolveInterrupted& e) {
+    out.solve_ms = ms_since(solve_start);
+    out.status = e.reason() == SolveInterrupted::Reason::kCancelled
+                     ? SolveStatus::kCancelled
+                     : SolveStatus::kDeadlineExceeded;
+    out.error = e.what();
+  } catch (const std::invalid_argument& e) {
+    out.solve_ms = ms_since(solve_start);
+    out.status = SolveStatus::kInvalidInstance;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.solve_ms = ms_since(solve_start);
+    out.status = SolveStatus::kInvariantViolation;
+    out.error = e.what();
+  }
+  if (trace::enabled()) {
+    const auto us = static_cast<std::int64_t>(out.solve_ms * 1000.0);
+    trace::complete("repair", "service", trace::now_us() - us, us);
+  }
+  telemetry.solve_latency_ms.observe(out.solve_ms);
+}
+
+/// update() reject path: a ticket resolved kInvalidInstance right here, with
+/// the same accounting as submit's queue-side resolutions (counted in
+/// submitted/completed, enters and leaves the depth gauge once).
+SolveTicket SolveService::reject_update(std::uint64_t base_fingerprint, const std::string& why) {
+  auto job = std::make_shared<SolveTicket::Job>();
+  job->submit_time = Clock::now();
+  job->label = "churn-update";
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  ServiceTelemetry::get().submitted.inc();
+  ServiceTelemetry::get().queue_depth.add(1);
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->outcome.churn_update = true;
+    job->outcome.base_fingerprint = base_fingerprint;
+    job->outcome.status = SolveStatus::kInvalidInstance;
+    job->outcome.error = why;
+    job->outcome.label = job->label;
+    job->outcome.queue_ms = account_dequeue(job->submit_time);
+    account_terminal(SolveStatus::kInvalidInstance);
+    job->done = true;
+    job->cv.notify_all();
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return SolveTicket(std::move(job));
+}
+
+SolveTicket SolveService::update(const SolveTicket& base, ChurnBatch batch) {
+  const std::uint64_t key = base.job_ != nullptr ? base.job_->snapshot_key : 0;
+  if (key == 0) {
+    ServiceTelemetry::get().update_total.inc();
+    return reject_update(0,
+                         "update: base ticket keeps no churn snapshot (no_cache, on_round, "
+                         "discard_colors or relaxed requests are not updatable)");
+  }
+  return update(key, std::move(batch));
+}
+
+SolveTicket SolveService::update(std::uint64_t base_fingerprint, ChurnBatch batch) {
+  ServiceTelemetry::get().update_total.inc();
+  const std::shared_ptr<const ChurnSnapshot> snap = impl_->find_snapshot(base_fingerprint);
+  if (snap == nullptr) {
+    return reject_update(base_fingerprint,
+                         "update: no churn snapshot for this fingerprint (base not completed "
+                         "Ok yet, evicted, or invalidated)");
+  }
+  try {
+    validate_churn(snap->instance, batch);
+  } catch (const std::exception& e) {
+    return reject_update(base_fingerprint, e.what());
+  }
+  SolveRequest request;
+  request.source_ = SolveRequest::Source::kChurn;
+  request.churn_base_ = snap;
+  request.churn_base_key_ = base_fingerprint;
+  request.churn_ops_ = std::move(batch);
+  request.policy_ = snap->policy;
+  request.label_ = "churn-update";
+  return submit(std::move(request));
+}
+
 ServiceMetricsSnapshot SolveService::metrics_snapshot() const {
   ServiceTelemetry& t = ServiceTelemetry::get();
   ServiceMetricsSnapshot s;
@@ -847,6 +1145,9 @@ ServiceMetricsSnapshot SolveService::metrics_snapshot() const {
   s.queue_latency_ms = t.queue_latency_ms.snapshot();
   s.solve_latency_ms = t.solve_latency_ms.snapshot();
   s.shed = t.shed.value();
+  s.updates = t.update_total.value();
+  s.updates_repaired = t.update_repaired.value();
+  s.updates_fallback = t.update_fallback.value();
   const obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   s.cache_hits = registry.counter_value("qplec_service_cache_hits_total");
   s.cache_misses = registry.counter_value("qplec_service_cache_misses_total");

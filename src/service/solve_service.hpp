@@ -42,6 +42,7 @@
 #include "src/core/solver.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/runtime/scenarios.hpp"
+#include "src/service/churn.hpp"
 
 namespace qplec {
 
@@ -101,6 +102,11 @@ struct ServiceMetricsSnapshot {
   std::int64_t cache_bytes = 0;
   obs::HistogramSnapshot cache_hit_latency_ms;   ///< submission -> cached resolve
   obs::HistogramSnapshot cache_miss_latency_ms;  ///< submission -> leader Ok outcome
+
+  // Incremental updates (SolveService::update).
+  std::uint64_t updates = 0;           ///< update() calls, accepted or rejected
+  std::uint64_t updates_repaired = 0;  ///< updates served by the local repair
+  std::uint64_t updates_fallback = 0;  ///< updates that fell back to a full re-solve
 };
 
 /// Everything the service reports about one finished job.  `result` is
@@ -137,8 +143,20 @@ struct SolveOutcome {
   /// solve actually cost, queue_ms what THIS submit waited.
   bool cache_hit = false;
   /// Request fingerprint the cache keyed this submit by (0 when the request
-  /// or config bypassed the cache).  Feed it to SolveService::invalidate.
+  /// or config bypassed the cache).  Feed it to SolveService::invalidate —
+  /// or to SolveService::update as the base of an edge-churn repair.
   std::uint64_t fingerprint = 0;
+
+  /// True when this outcome came from SolveService::update.  `repaired` then
+  /// says whether the incremental repair served it (region within
+  /// ExecConfig::recolor_budget) or the budget fallback re-solved the
+  /// mutated instance from scratch; `repair_region_edges` is the number of
+  /// edges the local repair actually recolored (0 on fallback);
+  /// `base_fingerprint` echoes the fingerprint the update chained from.
+  bool churn_update = false;
+  bool repaired = false;
+  int repair_region_edges = 0;
+  std::uint64_t base_fingerprint = 0;
 
   bool ok() const { return status == SolveStatus::kOk; }
 };
@@ -195,12 +213,19 @@ class SolveRequest {
  private:
   friend class SolveService;
 
-  enum class Source { kInstance, kScenario, kDimacs };
+  enum class Source { kInstance, kScenario, kDimacs, kChurn };
 
   Source source_ = Source::kInstance;
   ListEdgeColoringInstance instance_;
   Scenario scenario_;
   std::string path_;
+
+  // Churn-update source (built only by SolveService::update): the retained
+  // snapshot of the base solve, the batch to apply, and the base outcome's
+  // fingerprint the derived cache key chains from.
+  std::shared_ptr<const ChurnSnapshot> churn_base_;
+  ChurnBatch churn_ops_;
+  std::uint64_t churn_base_key_ = 0;
 
   Policy policy_ = Policy::practical();
   int priority_ = 0;
@@ -275,17 +300,40 @@ class SolveService {
   /// resolves kQueueFull immediately instead of enqueueing.
   SolveTicket submit(SolveRequest request);
 
+  /// Incremental recolor under edge churn.  Takes the outcome of a completed
+  /// solve (by ticket, or by its outcome.fingerprint) and a batch of edge
+  /// inserts/removes, and enqueues a job that REPAIRS the affected
+  /// neighborhood (src/core/recolor) instead of re-solving — falling back to
+  /// a full re-solve of the mutated instance when the repair region exceeds
+  /// ExecConfig::recolor_budget.  Never throws: a base that kept no churn
+  /// snapshot (no_cache/on_round/discard_colors/relaxed requests, an
+  /// invalidated or registry-evicted fingerprint, a base still in flight) or
+  /// an inconsistent batch resolves the ticket kInvalidInstance immediately.
+  ///
+  /// The update's cache key is DERIVED: a pure function of the base
+  /// fingerprint, the batch, and the same policy/exec knobs a submit mixes
+  /// (chain_fingerprint, src/service/churn.hpp) — so a repeated identical
+  /// update is a result-cache hit, and the outcome's own fingerprint seeds
+  /// the next update in the chain.  The outcome reports churn_update /
+  /// repaired / repair_region_edges / base_fingerprint.
+  SolveTicket update(const SolveTicket& base, ChurnBatch batch);
+  SolveTicket update(std::uint64_t base_fingerprint, ChurnBatch batch);
+
   /// The fingerprint submit() keys the result cache by for this request:
   /// instance source (scenario fields / full instance structure / file path
   /// + id-scramble + list knobs), policy, slack, keep-colors, and the
-  /// config's solve-shaping knobs.  File sources are keyed by PATH, not
-  /// content — invalidate() when the file changes.
+  /// config's solve-shaping knobs.  File sources are keyed by path PLUS the
+  /// file's current size and mtime, so rewriting the file is a cache miss,
+  /// not a stale hit; invalidate() still works for exotic same-size
+  /// same-mtime rewrites.
   std::uint64_t fingerprint(const SolveRequest& request) const;
 
-  /// Drops the cached outcome for `fingerprint`.  An in-flight identical
+  /// Drops the cached outcome for `fingerprint`, and the churn snapshot
+  /// update() would start from (a later update(fingerprint, ...) is
+  /// rejected until an identical submit re-solves).  An in-flight identical
   /// solve is marked stale: its waiters still receive its outcome, but
   /// nothing is stored — the next identical submit solves fresh.  Returns
-  /// true if there was an entry or an open lease to invalidate.
+  /// true if there was an entry, an open lease, or a snapshot to drop.
   bool invalidate(std::uint64_t fingerprint);
 
   /// invalidate() for every cached entry and open lease.
@@ -311,8 +359,10 @@ class SolveService {
   void worker_loop();
   void timer_loop();
   void run_job(SolveTicket::Job& job) const;
+  void run_churn_job(SolveTicket::Job& job) const;
   void enqueue_job(std::shared_ptr<SolveTicket::Job> job);
   void settle_lease(SolveTicket::Job& leader, const SolveOutcome* ok_outcome);
+  SolveTicket reject_update(std::uint64_t base_fingerprint, const std::string& why);
 
   ExecConfig config_;
   std::unique_ptr<Impl> impl_;

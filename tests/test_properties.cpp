@@ -19,6 +19,7 @@
 #include "src/coloring/palette.hpp"
 #include "src/coloring/validate.hpp"
 #include "src/common/rng.hpp"
+#include "src/core/recolor.hpp"
 #include "src/core/solver.hpp"
 #include "src/graph/builder.hpp"
 #include "src/graph/generators.hpp"
@@ -332,6 +333,71 @@ TEST(PropertyFuzz, BatchedGreedySweepMatchesPerClassReference) {
     EXPECT_EQ(batched, reference) << "seed " << seed;
     EXPECT_TRUE(is_proper_on_conflict(view, batched, serial_backend())) << "seed " << seed;
   }
+}
+
+// Churn sweep: random graphs x random churn batches.  Every repair must
+// produce a proper list coloring of the mutated instance, keep every
+// survivor's pre-churn color verbatim (the bounded-drift invariant), solve
+// bit-identically serial vs sharded, and — on the forced-fallback leg —
+// match the from-scratch solve of the same mutated instance exactly.
+TEST(PropertyFuzz, ChurnRepairInvariantsAcrossRandomSweep) {
+  struct Case {
+    GraphFamily family;
+    int size;
+    int aux;
+  };
+  const Case cases[] = {
+      {GraphFamily::kGnp, 30, 0},
+      {GraphFamily::kRegular, 48, 4},
+      {GraphFamily::kPowerLaw, 60, 10},
+      {GraphFamily::kTree, 50, 0},
+  };
+  int swept = 0;
+  for (const Case& c : cases) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Scenario scenario{c.family, c.size,
+                              seed % 2 ? ListFlavor::kTwoDelta
+                                       : ListFlavor::kRandomDegPlusOne,
+                              PolicyKind::kPractical, seed, c.aux};
+      const ListEdgeColoringInstance instance = build_instance(scenario);
+      if (instance.graph.num_edges() < 8) continue;
+      ++swept;
+      const SolveResult base = Solver(Policy::practical()).solve(instance);
+      const ChurnBatch batch = make_random_churn(instance.graph, 3, 3, seed * 31);
+      const RecolorPlan plan = plan_recolor(instance, base.colors, batch.ops);
+      ASSERT_EQ(static_cast<int>(plan.region.size()), 3) << scenario.name();
+
+      const RecolorOutcome serial =
+          repair_recolor(plan, Policy::practical(), ExecConfig{});
+      EXPECT_FALSE(serial.fallback) << scenario.name();
+      EXPECT_TRUE(is_valid_list_coloring(plan.mutated, serial.result.colors))
+          << scenario.name();
+      for (std::size_t e = 0; e < plan.carried.size(); ++e) {
+        if (plan.carried[e] != kUncolored) {
+          ASSERT_EQ(serial.result.colors[e], plan.carried[e])
+              << scenario.name() << " edge " << e << " drifted";
+        }
+      }
+
+      ExecConfig sharded;
+      sharded.shards = 2;
+      sharded.min_sharded_edges = 0;
+      const RecolorOutcome dist = repair_recolor(plan, Policy::practical(), sharded);
+      EXPECT_EQ(dist.result.colors, serial.result.colors) << scenario.name();
+      EXPECT_EQ(dist.result.rounds, serial.result.rounds) << scenario.name();
+
+      ExecConfig no_budget;
+      no_budget.recolor_budget = 0;  // <= 0: always fall back (region non-empty)
+      const RecolorOutcome fallback =
+          repair_recolor(plan, Policy::practical(), no_budget);
+      EXPECT_TRUE(fallback.fallback) << scenario.name();
+      const SolveResult scratch =
+          Solver(Policy::practical(), no_budget).solve(plan.mutated);
+      EXPECT_EQ(fallback.result.colors, scratch.colors) << scenario.name();
+      EXPECT_EQ(fallback.result.rounds, scratch.rounds) << scenario.name();
+    }
+  }
+  EXPECT_GE(swept, 10);  // the sweep must not silently degenerate
 }
 
 // The same random family x size x seed sweep submitted through the

@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -482,6 +484,97 @@ TEST(ResultCacheService, DrainTimeEstimateShedsDeadlinedSubmits) {
 
   gate.release();
   EXPECT_EQ(queued.wait().status, SolveStatus::kOk);
+  EXPECT_EQ(blocker.wait().status, SolveStatus::kOk);
+}
+
+TEST(ResultCacheUnit, ByteAccountingPricesSizeNotCapacity) {
+  // Regression: estimate_outcome_bytes once priced vector/string capacity(),
+  // so an outcome whose buffers carried growth slack could be refused (or
+  // charged for bytes it does not durably hold) even though its contents fit.
+  const SolveOutcome tight = make_ok_outcome(1, 8);
+  SolveOutcome slack = make_ok_outcome(1, 8);
+  slack.result.colors.reserve(1 << 16);
+  slack.error.reserve(1 << 12);
+  slack.result.round_report.reserve(1 << 12);
+  EXPECT_EQ(estimate_outcome_bytes(slack), estimate_outcome_bytes(tight));
+
+  // And the store path shrinks before admission: two slack-capacity outcomes
+  // fit a budget sized for two tight ones, and the resident byte gauge stays
+  // within the budget (the slack was dropped, not stored).
+  const std::size_t unit = estimate_outcome_bytes(tight);
+  ResultCache cache(16, 2 * unit + unit / 2);
+  auto w = std::make_shared<int>(0);
+  for (std::uint64_t key : {1, 2}) {
+    const ResultCache::Lease lease = cache.acquire(key, w);
+    SolveOutcome big = make_ok_outcome(static_cast<int>(key), 8);
+    big.result.colors.reserve(1 << 16);
+    EXPECT_TRUE(cache.complete(key, lease.id, &big).populated) << key;
+  }
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_LE(cache.bytes(), 2 * unit + unit / 2);
+}
+
+TEST(ResultCacheService, DimacsRewriteIsACacheMissNotAStaleHit) {
+  // Regression: the DIMACS fingerprint once mixed only the path + knobs, so
+  // rewriting the file behind an unchanged path served the OLD graph's
+  // coloring from the cache.  The key now mixes the file's size and mtime.
+  const std::string path = testing::TempDir() + "/qplec_rewrite_test.dimacs";
+  {
+    std::ofstream out(path);
+    out << "p edge 5 6\n"
+        << "e 1 2\ne 2 3\ne 3 4\ne 4 5\ne 5 1\ne 1 3\n";
+  }
+  SolveService service(ExecConfig{.workers = 1});
+  const SolveOutcome first = service.solve(SolveRequest::from_dimacs(path));
+  ASSERT_EQ(first.status, SolveStatus::kOk) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.num_edges, 6);
+  EXPECT_TRUE(service.solve(SolveRequest::from_dimacs(path)).cache_hit);
+
+  // Rewrite with different-length content (size change makes the test
+  // robust even on filesystems with coarse mtime granularity).
+  {
+    std::ofstream out(path);
+    out << "p edge 6 8\n"
+        << "e 1 2\ne 2 3\ne 3 4\ne 4 5\ne 5 6\ne 6 1\ne 1 4\ne 2 5\n";
+  }
+  const SolveOutcome second = service.solve(SolveRequest::from_dimacs(path));
+  ASSERT_EQ(second.status, SolveStatus::kOk) << second.error;
+  EXPECT_FALSE(second.cache_hit);  // the rewrite changed the key
+  EXPECT_NE(second.fingerprint, first.fingerprint);
+  EXPECT_EQ(second.num_edges, 8);  // solved the NEW file, not the memo
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheService, InFlightSolveCountsTowardDrainEstimate) {
+  // Regression: the drain estimate once counted only QUEUED jobs, so with an
+  // empty queue and a busy worker a deadlined submit was admitted even though
+  // the in-flight solve alone would outlast its budget.
+  ExecConfig config;
+  config.workers = 1;
+  config.max_queue_depth = 64;  // the static backstop must NOT be what trips
+  SolveService service(config);
+
+  // Seed the EWMA with exactly one real solve: ewma == that solve_ms.
+  const SolveOutcome seed = service.solve(SolveRequest::from_scenario(kScenarioA));
+  ASSERT_EQ(seed.status, SolveStatus::kOk);
+  ASSERT_GT(seed.solve_ms, 0.0);
+
+  BlockerGate gate;
+  const SolveTicket blocker = service.submit(
+      SolveRequest::from_scenario(kBlockerScenario).on_round(gate.callback()));
+  gate.wait_entered();  // queue empty, ONE job in flight
+
+  // Deadline between ewma * (depth + 1) / workers = ewma (the old,
+  // queue-only estimate: would admit) and ewma * (depth + inflight + 1) /
+  // workers = 2 * ewma (the in-flight-aware estimate: must shed).
+  const SolveTicket shed = service.submit(
+      SolveRequest::from_scenario(kScenarioC).deadline_ms(1.5 * seed.solve_ms));
+  EXPECT_TRUE(shed.done());
+  EXPECT_EQ(shed.wait().status, SolveStatus::kQueueFull);
+  EXPECT_NE(shed.wait().error.find("drain"), std::string::npos) << shed.wait().error;
+
+  gate.release();
   EXPECT_EQ(blocker.wait().status, SolveStatus::kOk);
 }
 
