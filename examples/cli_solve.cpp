@@ -2,6 +2,8 @@
 //
 //   usage: cli_solve [--algorithm bko|greedy|kw|luby|central] [--seed N]
 //                    [--list-palette C] [--shards N] [--threads N]
+//                    [--backend auto|serial|sharded|process] [--ranks N]
+//                    [--greedy-batch-quantum N]
 //                    [--no-neighbor-cache] [--no-fuse-supersteps]
 //                    [--no-result-cache] [--max-queue-depth N]
 //                    [--validation-tier off|sampled|every_round]
@@ -18,7 +20,11 @@
 // The bko algorithm routes through qplec::SolveService (src/service), the
 // same front door the batch runtime uses: --shards N runs the solve N-way
 // parallel on the sharded backend (identical output), --threads caps the
-// shard workers, --deadline-ms bounds the wall clock (the solve stops at a
+// shard workers, --backend picks the execution backend explicitly (process
+// forks --ranks message-passing workers; output stays bit-identical),
+// --greedy-batch-quantum sets the greedy batching quantum (<=1 disables
+// batching; output stays bit-identical),
+// --deadline-ms bounds the wall clock (the solve stops at a
 // round boundary with status deadline_exceeded), --no-result-cache bypasses
 // the service's memoized-outcome cache (one job per run makes it moot here;
 // the flag exists for parity with the service surface) and --max-queue-depth
@@ -52,6 +58,7 @@
 #include "src/coloring/greedy.hpp"
 #include "src/coloring/validate.hpp"
 #include "src/core/solver.hpp"
+#include "src/dist/process_backend.hpp"
 #include "src/graph/io.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -65,6 +72,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: cli_solve [--algorithm bko|greedy|kw|luby|central] "
                "[--seed N] [--list-palette C] [--shards N] [--threads N] "
+               "[--backend auto|serial|sharded|process] [--ranks N] "
+               "[--greedy-batch-quantum N] "
                "[--no-neighbor-cache] [--no-fuse-supersteps] "
                "[--no-result-cache] [--max-queue-depth N] "
                "[--recolor-budget N] [--churn-file ops.txt] "
@@ -151,6 +160,9 @@ void print_json(const qplec::SolveOutcome& out, const std::string& algorithm,
 
 int main(int argc, char** argv) {
   using namespace qplec;
+  // Must run before anything else: when this binary was re-exec'd as a
+  // process-backend rank worker, this call never returns.
+  process_worker_guard(argc, argv);
 
   std::string algorithm = "bko";
   std::string path;
@@ -158,6 +170,9 @@ int main(int argc, char** argv) {
   Color list_palette = 0;
   int shards = 1;
   int threads = 0;
+  BackendKind backend = BackendKind::kAuto;
+  int ranks = ExecConfig{}.ranks;
+  int greedy_batch_quantum = ExecConfig{}.greedy_batch_quantum;
   double deadline_ms = -1.0;
   bool neighbor_cache = true;
   bool fuse_supersteps = true;
@@ -183,6 +198,23 @@ int main(int argc, char** argv) {
       shards = std::atoi(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string kind = argv[++i];
+      if (kind == "auto") {
+        backend = BackendKind::kAuto;
+      } else if (kind == "serial") {
+        backend = BackendKind::kSerial;
+      } else if (kind == "sharded") {
+        backend = BackendKind::kSharded;
+      } else if (kind == "process") {
+        backend = BackendKind::kProcess;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--ranks" && i + 1 < argc) {
+      ranks = std::atoi(argv[++i]);
+    } else if (arg == "--greedy-batch-quantum" && i + 1 < argc) {
+      greedy_batch_quantum = std::atoi(argv[++i]);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--no-neighbor-cache") {
@@ -231,6 +263,9 @@ int main(int argc, char** argv) {
   config.workers = 1;  // one job: the CLI's solve
   config.shards = shards;
   config.shard_threads = threads;
+  config.backend = backend;
+  config.ranks = ranks;
+  config.greedy_batch_quantum = greedy_batch_quantum;
   config.use_neighbor_cache = neighbor_cache;
   config.fuse_supersteps = fuse_supersteps;
   config.validation_tier = validation_tier;

@@ -9,9 +9,8 @@ namespace qplec {
 
 void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& lists,
                        const std::vector<std::uint64_t>& phi, std::uint64_t palette,
-                       std::vector<Color>& out, RoundLedger& ledger,
-                       const ExecBackend* exec, const SolveControl* control,
-                       ValidationGate* gate) {
+                       std::vector<Color>& out, RoundLedger& ledger, const ExecBackend* exec,
+                       const SolveControl* control, ValidationGate* gate, int batch_quantum) {
   const ExecBackend& ex = exec != nullptr ? *exec : serial_backend();
   QPLEC_REQUIRE(out.size() == static_cast<std::size_t>(view.num_items()));
   QPLEC_REQUIRE(lists.size() == static_cast<std::size_t>(view.num_items()));
@@ -108,10 +107,9 @@ void greedy_by_classes(const ConflictView& view, const std::vector<ColorList>& l
     // Greedily append whole classes while the quantum holds and the joining
     // class is independent of everything already batched (a conflicting pair
     // inside one region would miss the earlier item's color).
-    while (pos < by_class.size() &&
-           static_cast<int>(batch.size()) < kGreedyBatchQuantum) {
+    while (pos < by_class.size() && static_cast<int>(batch.size()) < batch_quantum) {
       end = class_end(pos);
-      if (batch.size() + (end - pos) > static_cast<std::size_t>(kGreedyBatchQuantum)) {
+      if (batch.size() + (end - pos) > static_cast<std::size_t>(std::max(batch_quantum, 1))) {
         break;
       }
       bool independent = true;
@@ -158,12 +156,13 @@ ConflictSolveResult solve_conflict_list(const ConflictView& view,
                                         std::uint64_t palette0, int degree_bound,
                                         std::vector<Color>& out, RoundLedger& ledger,
                                         const ExecBackend* exec, const SolveControl* control,
-                                        ValidationGate* gate) {
+                                        ValidationGate* gate, int batch_quantum) {
   ConflictSolveResult res;
   LinialResult lin = linial_reduce(view, phi0, palette0, degree_bound, ledger, exec, gate);
   res.linial_rounds = lin.rounds;
   res.sweep_palette = lin.palette;
-  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger, exec, control, gate);
+  greedy_by_classes(view, lists, lin.colors, lin.palette, out, ledger, exec, control, gate,
+                    batch_quantum);
   return res;
 }
 

@@ -37,6 +37,19 @@ enum class ValidationTier {
 
 const char* validation_tier_name(ValidationTier tier);
 
+/// Which ExecBackend implementation a solve runs on.
+enum class BackendKind {
+  kAuto,     ///< seed behavior: sharded when wants_sharding(), else serial
+  kSerial,   ///< always the serial backend, regardless of shards
+  kSharded,  ///< same gating as kAuto (named for explicitness in configs)
+  kProcess,  ///< multi-process backend: `ranks` forked worker processes
+             ///< exchanging boundary messages (src/dist/process_backend).
+             ///< Always taken when selected — no min-size gate — so small
+             ///< instances exercise the real message path too.
+};
+
+const char* backend_kind_name(BackendKind kind);
+
 /// Tier this build defaults to: kEveryRound in Debug builds (!NDEBUG),
 /// kSampled in Release.  Defined in exec_config.cpp so one definition —
 /// compiled with the library — decides, whatever NDEBUG a client TU sees.
@@ -88,6 +101,29 @@ struct ExecConfig {
   /// Number of shards one instance's rounds are split into; <= 1 runs the
   /// seed's serial path.
   int shards = 1;
+
+  /// Which execution backend solves run on (see BackendKind).  kAuto keeps
+  /// the historical shards/min_sharded_edges gating; kProcess forks `ranks`
+  /// worker processes per solve.  Output is bit-identical across every
+  /// backend (tests/test_process_backend.cpp pins the differential).
+  BackendKind backend = BackendKind::kAuto;
+
+  /// Worker-rank processes of the process backend (clamped to the edge-id
+  /// universe, like shards).  Only read when backend == kProcess.
+  int ranks = 2;
+
+  /// Process backend: maximum payload bytes of one wire frame — larger
+  /// logical messages are chunked into continuation frames.  Transport
+  /// shaping only; never affects results.
+  std::int64_t rank_msg_budget = std::int64_t{1} << 20;
+
+  /// Batch quantum of the greedy small-class scheduler
+  /// (src/coloring/greedy.cpp): consecutive color classes are batched until
+  /// their combined size reaches this many edges, amortizing the per-batch
+  /// conflict scan.  <= 1 disables batching (one class per batch).  Any
+  /// quantum yields bit-identical colors — batching only regroups a
+  /// sequential scan (bench_roundloop sweeps {1,32,128,512} to prove it).
+  int greedy_batch_quantum = 128;
 
   /// Worker threads backing the sharded backend; <= 0 picks
   /// min(shards, hardware concurrency).  Ignored when shared_pool is set

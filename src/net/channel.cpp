@@ -1,0 +1,162 @@
+#include "src/net/channel.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qplec::net {
+
+const char* frame_kind_name(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello:
+      return "hello";
+    case FrameKind::kInstance:
+      return "instance";
+    case FrameKind::kExchange:
+      return "exchange";
+    case FrameKind::kExchangeRelease:
+      return "exchange-release";
+    case FrameKind::kReduceMax:
+      return "reduce-max";
+    case FrameKind::kReduceRelease:
+      return "reduce-release";
+    case FrameKind::kBarrier:
+      return "barrier";
+    case FrameKind::kBarrierRelease:
+      return "barrier-release";
+    case FrameKind::kResult:
+      return "result";
+    case FrameKind::kResultHash:
+      return "result-hash";
+    case FrameKind::kError:
+      return "error";
+    case FrameKind::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t kHeaderLen = 4 + 1 + 1 + 8;
+
+[[noreturn]] void throw_errno(const std::string& peer, const char* op) {
+  throw BackendError(peer + ": " + op + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Channel::Channel(int fd, std::string peer_name) : fd_(fd), peer_name_(std::move(peer_name)) {}
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), peer_name_(std::move(other.peer_name_)) {}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    peer_name_ = std::move(other.peer_name_);
+  }
+  return *this;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::read_exact(std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd_, buf + got, n - got);
+    if (r == 0) throw BackendError(peer_name_ + ": peer closed connection (rank died?)");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(peer_name_, "read");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+}
+
+void Channel::write_exact(const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE -> BackendError, not SIGPIPE.
+    const ssize_t r = ::send(fd_, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(peer_name_, "send");
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+void Channel::send_frame(FrameKind kind, std::uint8_t flags, std::uint64_t epoch,
+                         const std::uint8_t* data, std::size_t n) {
+  if (!valid()) throw BackendError(peer_name_ + ": send on closed channel");
+  if (n > kMaxFrameLen) throw BackendError(peer_name_ + ": frame payload exceeds kMaxFrameLen");
+  Encoder header;
+  header.put_u32(static_cast<std::uint32_t>(n));
+  header.put_u8(static_cast<std::uint8_t>(kind));
+  header.put_u8(flags);
+  header.put_u64(epoch);
+  write_exact(header.bytes().data(), header.bytes().size());
+  if (n > 0) write_exact(data, n);
+}
+
+void Channel::send_message(FrameKind kind, std::uint64_t epoch,
+                           const std::vector<std::uint8_t>& payload, std::int64_t msg_budget) {
+  const std::size_t chunk = msg_budget > 0 ? static_cast<std::size_t>(msg_budget)
+                                           : static_cast<std::size_t>(kMaxFrameLen);
+  std::size_t pos = 0;
+  do {
+    const std::size_t n = std::min(chunk, payload.size() - pos);
+    const bool more = pos + n < payload.size();
+    send_frame(kind, more ? kFlagMore : 0, epoch, payload.data() + pos, n);
+    pos += n;
+  } while (pos < payload.size());
+}
+
+Frame Channel::recv_frame() {
+  if (!valid()) throw BackendError(peer_name_ + ": recv on closed channel");
+  std::uint8_t header[kHeaderLen];
+  read_exact(header, kHeaderLen);
+  Decoder dec(header, kHeaderLen);
+  const std::uint32_t len = dec.get_u32();
+  if (len > kMaxFrameLen) {
+    throw BackendError(peer_name_ + ": corrupt frame length " + std::to_string(len));
+  }
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(dec.get_u8());
+  frame.flags = dec.get_u8();
+  frame.epoch = dec.get_u64();
+  frame.payload.resize(len);
+  if (len > 0) read_exact(frame.payload.data(), len);
+  return frame;
+}
+
+Frame Channel::recv_message() {
+  Frame first = recv_frame();
+  while (first.flags & kFlagMore) {
+    Frame next = recv_frame();
+    if (next.kind != first.kind || next.epoch != first.epoch) {
+      throw BackendError(peer_name_ + ": continuation frame mismatch (" +
+                         frame_kind_name(next.kind) + " epoch " + std::to_string(next.epoch) +
+                         " interrupts " + frame_kind_name(first.kind) + " epoch " +
+                         std::to_string(first.epoch) + ")");
+    }
+    first.payload.insert(first.payload.end(), next.payload.begin(), next.payload.end());
+    first.flags = next.flags;
+  }
+  return first;
+}
+
+}  // namespace qplec::net

@@ -1,0 +1,80 @@
+#include "src/net/codec.hpp"
+
+namespace qplec::net {
+
+void encode_edge_ids(Encoder& enc, const std::vector<EdgeId>& ids) {
+  enc.put_varint(ids.size());
+  EdgeId prev = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i == 0) {
+      enc.put_varint(static_cast<std::uint64_t>(ids[0]));
+    } else {
+      enc.put_varint(static_cast<std::uint64_t>(ids[i] - prev));
+    }
+    prev = ids[i];
+  }
+}
+
+std::vector<EdgeId> decode_edge_ids(Decoder& dec, int universe) {
+  const std::uint64_t count = dec.get_varint();
+  if (count > static_cast<std::uint64_t>(universe)) {
+    throw CodecError("edge-id run of " + std::to_string(count) + " exceeds universe " +
+                     std::to_string(universe));
+  }
+  std::vector<EdgeId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t delta = dec.get_varint();
+    const std::int64_t id = (i == 0) ? static_cast<std::int64_t>(delta)
+                                     : prev + static_cast<std::int64_t>(delta);
+    if (id < 0 || id >= universe || (i > 0 && delta == 0)) {
+      throw CodecError("edge-id delta run leaves [0, " + std::to_string(universe) + ")");
+    }
+    ids.push_back(static_cast<EdgeId>(id));
+    prev = id;
+  }
+  return ids;
+}
+
+void encode_color_list(Encoder& enc, const ColorList& list) {
+  const std::vector<Color>& colors = list.colors();
+  enc.put_varint(colors.size());
+  Color prev = 0;
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    if (i == 0) {
+      enc.put_signed(colors[0]);
+    } else {
+      enc.put_varint(static_cast<std::uint64_t>(colors[i] - prev));
+    }
+    prev = colors[i];
+  }
+}
+
+ColorList decode_color_list(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  // A list cannot be larger than the byte budget that encodes it (>= 1 byte
+  // per color), so a corrupt count is caught before any oversized alloc.
+  if (count > dec.remaining()) {
+    throw CodecError("color-list count " + std::to_string(count) + " exceeds payload");
+  }
+  std::vector<Color> colors;
+  colors.reserve(static_cast<std::size_t>(count));
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t c;
+    if (i == 0) {
+      c = dec.get_signed();
+    } else {
+      const std::uint64_t delta = dec.get_varint();
+      if (delta == 0) throw CodecError("color-list deltas must be strictly increasing");
+      c = prev + static_cast<std::int64_t>(delta);
+    }
+    if (c < INT32_MIN || c > INT32_MAX) throw CodecError("color out of 32-bit range");
+    colors.push_back(static_cast<Color>(c));
+    prev = c;
+  }
+  return ColorList(std::move(colors));
+}
+
+}  // namespace qplec::net

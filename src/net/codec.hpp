@@ -1,0 +1,196 @@
+// Wire codec for the multi-process backend (src/net) — bounded, versionless,
+// host-order-free byte encoding for everything that crosses a rank boundary.
+//
+// Primitives: fixed-width little-endian u8/u32/u64, LEB128 varints, zigzag
+// signed varints, and bit-cast doubles.  On top of those, the two
+// edge-coloring-shaped encodings every boundary message is built from:
+//   * ascending edge-id runs are DELTA encoded (first id, then gaps — the
+//     subsets the round loop exchanges are sorted by construction, so gaps
+//     are small and varints stay 1-2 bytes), and
+//   * ColorLists are delta encoded the same way (strictly increasing colors).
+// Decoding is bounds-checked everywhere: a truncated or corrupt buffer
+// throws CodecError, never reads past the end.  CodecError derives from
+// BackendError, the one exception type the process backend surfaces — the
+// service maps it to SolveStatus::kBackendFailure.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/coloring/palette.hpp"
+#include "src/graph/graph.hpp"
+
+namespace qplec::net {
+
+/// Any failure of the process backend's transport or protocol: socket errors,
+/// rank death (EOF mid-protocol), malformed frames, cross-rank divergence.
+/// SolveService catches exactly this type and resolves the outcome
+/// SolveStatus::kBackendFailure instead of rethrowing.
+class BackendError : public std::runtime_error {
+ public:
+  explicit BackendError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed byte buffer: truncated payload, varint overrun, corrupt
+/// length.  A BackendError, because a corrupt frame means the transport (or
+/// a peer) is broken — the solve cannot continue.
+class CodecError : public BackendError {
+ public:
+  explicit CodecError(const std::string& what) : BackendError("codec: " + what) {}
+};
+
+/// Append-only byte sink.  All integers are little-endian on the wire.
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// LEB128: 7 value bits per byte, high bit = continuation.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Zigzag-mapped varint: small magnitudes of either sign stay short.
+  void put_signed(std::int64_t v) {
+    put_varint((static_cast<std::uint64_t>(v) << 1) ^
+               static_cast<std::uint64_t>(v >> 63));
+  }
+
+  /// Bit-cast double (the one representation that round-trips exactly).
+  void put_double(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  void put_bytes(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  /// Length-prefixed string.
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    put_bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte buffer (non-owning).
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& buf) : Decoder(buf.data(), buf.size()) {}
+
+  std::uint8_t get_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t get_u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      require(1);
+      const std::uint8_t b = data_[pos_++];
+      if (shift >= 63 && (b & 0x7e) != 0) throw CodecError("varint overflows 64 bits");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t get_signed() {
+    const std::uint64_t z = get_varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  double get_double() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string get_string() {
+    const std::uint64_t n = get_varint();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Sub-decoder over the next length-prefixed segment (used for the per-rank
+  /// segments of a combined exchange payload — delta encoding restarts per
+  /// segment).
+  Decoder get_segment() {
+    const std::uint64_t n = get_varint();
+    require(n);
+    Decoder d(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return d;
+  }
+
+  bool done() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void require(std::uint64_t n) const {
+    if (n > size_ - pos_) {
+      throw CodecError("truncated buffer: need " + std::to_string(n) + " bytes, have " +
+                       std::to_string(size_ - pos_));
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Delta-encodes a strictly ascending edge-id run: count, first id, gaps.
+void encode_edge_ids(Encoder& enc, const std::vector<EdgeId>& ids);
+
+/// Inverse of encode_edge_ids; rejects non-ascending runs and ids outside
+/// [0, universe) (a corrupt gap must not index out of a peer's arrays).
+std::vector<EdgeId> decode_edge_ids(Decoder& dec, int universe);
+
+/// Delta-encodes a ColorList (strictly increasing colors by construction).
+void encode_color_list(Encoder& enc, const ColorList& list);
+
+/// Inverse of encode_color_list (the ColorList constructor re-validates the
+/// strictly-increasing invariant).
+ColorList decode_color_list(Decoder& dec);
+
+}  // namespace qplec::net

@@ -1,0 +1,123 @@
+#include "src/net/process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace qplec::net {
+
+namespace {
+
+constexpr char kWorkerFlagPrefix[] = "--rank-worker=";
+
+}  // namespace
+
+bool reexec_available() { return ::access("/proc/self/exe", X_OK) == 0; }
+
+int parse_rank_worker_flag(const char* arg) {
+  const std::size_t prefix_len = sizeof(kWorkerFlagPrefix) - 1;
+  if (std::strncmp(arg, kWorkerFlagPrefix, prefix_len) != 0) return -1;
+  const int fd = std::atoi(arg + prefix_len);
+  return fd >= 0 ? fd : -1;
+}
+
+RankGroup::~RankGroup() {
+  kill_all();
+  reap_all();
+}
+
+void RankGroup::spawn(int ranks) {
+  if (!reexec_available()) {
+    throw BackendError("process backend needs /proc/self/exe to re-exec worker ranks");
+  }
+  channels_.reserve(static_cast<std::size_t>(ranks));
+  pids_.reserve(static_cast<std::size_t>(ranks));
+  reaped_ = false;
+  for (int r = 0; r < ranks; ++r) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+      const std::string err = std::strerror(errno);
+      kill_all();
+      reap_all();
+      throw BackendError("socketpair: " + err);
+    }
+    // Everything the child touches between fork and execv must be prepared
+    // here: fork from a multithreaded process (a service worker thread)
+    // permits only async-signal-safe calls in the child.
+    char flag[32];
+    std::snprintf(flag, sizeof(flag), "%s%d", kWorkerFlagPrefix, sv[1]);
+    char exe[] = "/proc/self/exe";
+    char* child_argv[] = {exe, flag, nullptr};
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(sv[0]);
+      ::close(sv[1]);
+      kill_all();
+      reap_all();
+      throw BackendError("fork: " + err);
+    }
+    if (pid == 0) {
+      // Child: clear CLOEXEC on our channel end so it survives execv, arm
+      // the parent-death signal, re-exec.  Only async-signal-safe calls.
+      ::fcntl(sv[1], F_SETFD, 0);
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      ::execv("/proc/self/exe", child_argv);
+      ::_exit(127);  // execv failed; the hub sees EOF on the channel
+    }
+    ::close(sv[1]);
+    channels_.emplace_back(sv[0], "rank " + std::to_string(r));
+    pids_.push_back(pid);
+  }
+}
+
+std::vector<int> RankGroup::poll_readable(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<int> rank_of;
+  fds.reserve(channels_.size());
+  for (int r = 0; r < size(); ++r) {
+    if (!channels_[static_cast<std::size_t>(r)].valid()) continue;
+    fds.push_back(pollfd{channels_[static_cast<std::size_t>(r)].fd(), POLLIN, 0});
+    rank_of.push_back(r);
+  }
+  if (fds.empty()) return {};
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return {};
+    throw BackendError(std::string("poll: ") + std::strerror(errno));
+  }
+  std::vector<int> readable;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) readable.push_back(rank_of[i]);
+  }
+  return readable;
+}
+
+void RankGroup::kill_all() {
+  for (const pid_t pid : pids_) {
+    if (pid > 0) ::kill(pid, SIGKILL);
+  }
+}
+
+void RankGroup::reap_all() {
+  if (reaped_) return;
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid = -1;
+  }
+  reaped_ = true;
+}
+
+}  // namespace qplec::net

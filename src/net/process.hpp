@@ -1,0 +1,70 @@
+// Worker-rank process management for the multi-process backend.
+//
+// RankGroup forks N worker ranks, each connected to the parent (the "hub")
+// by one end of a socketpair, and re-execs /proc/self/exe with the hidden
+// flag `--rank-worker=<fd>` so the child starts from a clean single-threaded
+// image (fork from a threaded service worker is only safe because nothing
+// but async-signal-safe calls happen between fork and execv).  The child
+// inherits exactly one fd: its channel end, with CLOEXEC cleared.  Each child
+// arms PR_SET_PDEATHSIG so a dying hub reaps the whole group instead of
+// leaking orphans.
+//
+// The hub side is intentionally dumb: poll for readable channels, kill_all,
+// reap_all (waitpid — no zombies).  All protocol logic lives in
+// src/dist/process_backend.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/channel.hpp"
+
+namespace qplec::net {
+
+/// True when re-exec via /proc/self/exe is possible (required to spawn
+/// ranks; false in exotic environments without procfs).
+bool reexec_available();
+
+/// Parses `--rank-worker=<fd>` from a worker argv entry; returns -1 when the
+/// argument is not the rank-worker flag.
+int parse_rank_worker_flag(const char* arg);
+
+/// A group of forked worker-rank processes, one Channel each.  Destruction
+/// kills and reaps any rank still alive (a failed solve must not leak
+/// processes or zombies).
+class RankGroup {
+ public:
+  RankGroup() = default;
+  ~RankGroup();
+
+  RankGroup(const RankGroup&) = delete;
+  RankGroup& operator=(const RankGroup&) = delete;
+
+  /// Forks + re-execs `ranks` workers.  Throws BackendError on any spawn
+  /// failure (already-spawned ranks are killed and reaped first).
+  void spawn(int ranks);
+
+  int size() const { return static_cast<int>(channels_.size()); }
+  Channel& channel(int rank) { return channels_[static_cast<std::size_t>(rank)]; }
+
+  /// Blocks until at least one rank channel is readable (or `timeout_ms`
+  /// elapses); returns the readable rank indices.  A rank whose channel hit
+  /// POLLHUP/POLLERR is reported readable too — its next read surfaces the
+  /// EOF as BackendError.
+  std::vector<int> poll_readable(int timeout_ms);
+
+  /// SIGKILLs every rank still alive (idempotent).
+  void kill_all();
+
+  /// waitpid()s every spawned rank (blocking); idempotent, never throws.
+  void reap_all();
+
+ private:
+  std::vector<Channel> channels_;
+  std::vector<pid_t> pids_;
+  bool reaped_ = true;
+};
+
+}  // namespace qplec::net

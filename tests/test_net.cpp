@@ -1,0 +1,357 @@
+// The net tier (`ctest -L net`): the process backend's wire layer in
+// isolation.  Codec primitives round-trip bit-exactly (varints at every
+// 7-bit boundary, zigzag signed at the int64 extremes, bit-cast doubles),
+// the edge-coloring-shaped delta encodings survive randomized batches, and
+// every malformed input — truncated buffer, varint overrun, zero delta,
+// out-of-universe id, corrupt frame length — throws CodecError/BackendError
+// instead of reading out of bounds.  The Channel tests run over a real
+// socketpair, chunking included, because that is the transport the hub and
+// ranks actually use.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/net/channel.hpp"
+#include "src/net/codec.hpp"
+
+namespace qplec::net {
+namespace {
+
+// ------------------------------------------------------------- primitives ---
+
+TEST(Codec, VarintRoundTripsAtEverySevenBitBoundary) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 21) - 1,
+                                  1ull << 21,
+                                  (1ull << 35) + 17,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  Encoder enc;
+  for (const std::uint64_t v : values) enc.put_varint(v);
+  Decoder dec(enc.bytes());
+  for (const std::uint64_t v : values) EXPECT_EQ(dec.get_varint(), v);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, SignedZigzagRoundTripsAtTheExtremes) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -64,
+                                 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  Encoder enc;
+  for (const std::int64_t v : values) enc.put_signed(v);
+  Decoder dec(enc.bytes());
+  for (const std::int64_t v : values) EXPECT_EQ(dec.get_signed(), v);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, FixedWidthAndDoubleRoundTripBitExactly) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefull);
+  enc.put_double(3.141592653589793);
+  enc.put_double(-0.0);
+  enc.put_double(std::numeric_limits<double>::infinity());
+  const std::string embedded_null = std::string("hello ") + '\0' + "world";
+  enc.put_string(embedded_null);
+  enc.put_string("");
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(dec.get_double(), 3.141592653589793);
+  const double neg_zero = dec.get_double();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(dec.get_double(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dec.get_string(), embedded_null);
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, TruncatedBufferThrowsInsteadOfOverreading) {
+  Encoder enc;
+  enc.put_u64(42);
+  const auto& bytes = enc.bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Decoder dec(bytes.data(), cut);
+    EXPECT_THROW(dec.get_u64(), CodecError) << "cut=" << cut;
+  }
+  // A truncated varint (continuation bit set, then nothing).
+  const std::uint8_t dangling[] = {0xff, 0xff};
+  Decoder dec(dangling, sizeof(dangling));
+  EXPECT_THROW(dec.get_varint(), CodecError);
+}
+
+TEST(Codec, OverlongVarintThrowsInsteadOfWrappingSilently) {
+  // Ten continuation bytes put the tenth byte's payload at shift 63: any bit
+  // beyond the lowest would overflow 64 bits.
+  std::vector<std::uint8_t> overlong(9, 0xff);
+  overlong.push_back(0x02);  // bit 1 at shift 63 -> overflow
+  Decoder dec(overlong.data(), overlong.size());
+  EXPECT_THROW(dec.get_varint(), CodecError);
+
+  // The same prefix with only the lowest bit set is the legal encoding of
+  // 0xffff...ff and must still decode.
+  std::vector<std::uint8_t> max(9, 0xff);
+  max.push_back(0x01);
+  Decoder ok(max.data(), max.size());
+  EXPECT_EQ(ok.get_varint(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Codec, TruncatedStringLengthPrefixThrows) {
+  Encoder enc;
+  enc.put_varint(100);  // claims 100 bytes, provides none
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_string(), CodecError);
+}
+
+TEST(Codec, SegmentsScopeTheirOwnBounds) {
+  Encoder inner;
+  inner.put_varint(7);
+  inner.put_varint(9);
+  Encoder outer;
+  outer.put_varint(inner.bytes().size());
+  outer.put_bytes(inner.bytes().data(), inner.bytes().size());
+  outer.put_varint(555);  // lives after the segment
+
+  Decoder dec(outer.bytes());
+  Decoder seg = dec.get_segment();
+  EXPECT_EQ(seg.get_varint(), 7u);
+  EXPECT_EQ(seg.get_varint(), 9u);
+  EXPECT_TRUE(seg.done());
+  EXPECT_THROW(seg.get_u8(), CodecError);  // the segment cannot read past its end
+  EXPECT_EQ(dec.get_varint(), 555u);       // the outer decoder resumes after it
+  EXPECT_TRUE(dec.done());
+}
+
+// ---------------------------------------------------- edge-delta encodings ---
+
+TEST(Codec, EdgeIdRunsRoundTrip) {
+  const std::vector<std::vector<EdgeId>> runs = {
+      {}, {0}, {41}, {0, 1, 2, 3}, {5, 17, 18, 900}, {0, 1000000}};
+  for (const auto& ids : runs) {
+    Encoder enc;
+    encode_edge_ids(enc, ids);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(decode_edge_ids(dec, 1000001), ids);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(Codec, EdgeIdDecodingRejectsCorruptRuns) {
+  {
+    // Zero gap = duplicate id: ascending runs are strict.
+    Encoder enc;
+    enc.put_varint(2);
+    enc.put_varint(5);
+    enc.put_varint(0);
+    Decoder dec(enc.bytes());
+    EXPECT_THROW(decode_edge_ids(dec, 100), CodecError);
+  }
+  {
+    // An id at/above the universe must not index a peer's arrays.
+    Encoder enc;
+    encode_edge_ids(enc, {3, 50});
+    Decoder dec(enc.bytes());
+    EXPECT_THROW(decode_edge_ids(dec, 50), CodecError);
+  }
+  {
+    // A count larger than the universe cannot be a strictly ascending run.
+    Encoder enc;
+    enc.put_varint(1000);
+    Decoder dec(enc.bytes());
+    EXPECT_THROW(decode_edge_ids(dec, 10), CodecError);
+  }
+}
+
+TEST(Codec, ColorListsRoundTrip) {
+  const std::vector<std::vector<Color>> lists = {
+      {}, {0}, {0, 2, 5, 9}, {1, 2, 3, 4, 5}, {100, 2000, 30000}};
+  for (const auto& colors : lists) {
+    const ColorList list{std::vector<Color>(colors)};
+    Encoder enc;
+    encode_color_list(enc, list);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(decode_color_list(dec).colors(), colors);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(Codec, ColorListDecodingRejectsCorruptDeltas) {
+  {
+    // Zero delta = duplicate color.
+    Encoder enc;
+    enc.put_varint(2);
+    enc.put_signed(4);
+    enc.put_varint(0);
+    Decoder dec(enc.bytes());
+    EXPECT_THROW(decode_color_list(dec), CodecError);
+  }
+  {
+    // Count beyond the remaining bytes is rejected before any allocation.
+    Encoder enc;
+    enc.put_varint(std::numeric_limits<std::uint32_t>::max());
+    Decoder dec(enc.bytes());
+    EXPECT_THROW(decode_color_list(dec), CodecError);
+  }
+}
+
+// Randomized batches shaped like one superstep's boundary exchange: an
+// ascending owned-edge run plus one ColorList per edge, across many seeds.
+TEST(Codec, RandomBoundaryMessageBatchesRoundTrip) {
+  std::mt19937_64 rng(20200712);  // the paper's conference year + a nonce
+  for (int iter = 0; iter < 200; ++iter) {
+    const int universe = 1 + static_cast<int>(rng() % 5000);
+    std::vector<EdgeId> ids;
+    for (int e = 0; e < universe; ++e) {
+      if (rng() % 4 == 0) ids.push_back(e);
+    }
+    std::vector<ColorList> lists;
+    lists.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      std::vector<Color> colors;
+      Color c = static_cast<Color>(rng() % 100);
+      const int len = static_cast<int>(rng() % 6);
+      for (int k = 0; k < len; ++k) {
+        colors.push_back(c);
+        c += 1 + static_cast<Color>(rng() % 9);
+      }
+      lists.emplace_back(std::move(colors));
+    }
+
+    Encoder enc;
+    encode_edge_ids(enc, ids);
+    for (const ColorList& list : lists) encode_color_list(enc, list);
+
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(decode_edge_ids(dec, universe), ids) << "iter " << iter;
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+      EXPECT_EQ(decode_color_list(dec).colors(), lists[i].colors())
+          << "iter " << iter << " list " << i;
+    }
+    EXPECT_TRUE(dec.done()) << "iter " << iter;
+  }
+}
+
+// ---------------------------------------------------------------- channel ---
+
+/// A connected socketpair wrapped in two Channels (both ends in-process).
+struct ChannelPair {
+  Channel a;
+  Channel b;
+  ChannelPair() {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      ADD_FAILURE() << "socketpair failed";
+      return;
+    }
+    a = Channel(sv[0], "end-a");
+    b = Channel(sv[1], "end-b");
+  }
+};
+
+TEST(Channel, MessageRoundTripsWithKindFlagsAndEpoch) {
+  ChannelPair pair;
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  pair.a.send_message(FrameKind::kExchange, 77, payload);
+  const Frame f = pair.b.recv_message();
+  EXPECT_EQ(f.kind, FrameKind::kExchange);
+  EXPECT_EQ(f.epoch, 77u);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(Channel, EmptyPayloadStillCarriesOneFrame) {
+  ChannelPair pair;
+  pair.a.send_message(FrameKind::kBarrier, 3, {});
+  const Frame f = pair.b.recv_message();
+  EXPECT_EQ(f.kind, FrameKind::kBarrier);
+  EXPECT_EQ(f.epoch, 3u);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(Channel, BudgetChunksAndReassemblesLargeMessages) {
+  ChannelPair pair;
+  std::vector<std::uint8_t> payload(10000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  // Budget of 64 bytes -> ~157 frames; recv_frame sees the continuation flag
+  // on every frame but the last, and recv_message glues them back together.
+  std::thread sender(
+      [&] { pair.a.send_message(FrameKind::kInstance, 9, payload, /*msg_budget=*/64); });
+  const Frame f = pair.b.recv_message();
+  sender.join();
+  EXPECT_EQ(f.kind, FrameKind::kInstance);
+  EXPECT_EQ(f.epoch, 9u);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(Channel, PeerCloseMidProtocolThrowsBackendErrorNotHang) {
+  ChannelPair pair;
+  pair.a.close();
+  EXPECT_THROW(pair.b.recv_message(), BackendError);
+}
+
+TEST(Channel, CorruptLengthFieldIsRejectedBeforeAllocation) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  Channel reader(sv[0], "reader");
+  // Hand-craft a header whose length field exceeds kMaxFrameLen.
+  Encoder enc;
+  enc.put_u32(kMaxFrameLen + 1);
+  enc.put_u8(static_cast<std::uint8_t>(FrameKind::kExchange));
+  enc.put_u8(0);
+  enc.put_u64(0);
+  ASSERT_EQ(::write(sv[1], enc.bytes().data(), enc.bytes().size()),
+            static_cast<ssize_t>(enc.bytes().size()));
+  EXPECT_THROW(reader.recv_frame(), BackendError);
+  ::close(sv[1]);
+}
+
+TEST(Channel, ContinuationKindMismatchIsAProtocolError) {
+  ChannelPair pair;
+  // First frame says "more follows" as kExchange, second arrives as kBarrier:
+  // a desynced peer, detected instead of spliced.
+  Encoder h1;
+  h1.put_u32(1);
+  h1.put_u8(static_cast<std::uint8_t>(FrameKind::kExchange));
+  h1.put_u8(kFlagMore);
+  h1.put_u64(5);
+  h1.put_u8(0xaa);
+  Encoder h2;
+  h2.put_u32(1);
+  h2.put_u8(static_cast<std::uint8_t>(FrameKind::kBarrier));
+  h2.put_u8(0);
+  h2.put_u64(5);
+  h2.put_u8(0xbb);
+  ASSERT_EQ(::write(pair.b.fd(), h1.bytes().data(), h1.bytes().size()),
+            static_cast<ssize_t>(h1.bytes().size()));
+  ASSERT_EQ(::write(pair.b.fd(), h2.bytes().data(), h2.bytes().size()),
+            static_cast<ssize_t>(h2.bytes().size()));
+  EXPECT_THROW(pair.a.recv_message(), BackendError);
+}
+
+TEST(Channel, FrameKindNamesCoverTheProtocol) {
+  EXPECT_STREQ(frame_kind_name(FrameKind::kHello), "hello");
+  EXPECT_STREQ(frame_kind_name(FrameKind::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace qplec::net

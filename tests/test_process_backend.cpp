@@ -1,0 +1,184 @@
+// The process backend tier (`ctest -L process`): the fork-based
+// message-passing backend against its one contract — bit-identical output.
+//
+// Every test here exercises REAL forked rank workers: this binary installs
+// process_worker_guard in its own main (below), so the hub's re-exec of
+// /proc/self/exe lands back in this executable and runs the rank protocol
+// instead of the test suite.  The differential sweep pins colors, round
+// counts and the ledger report against the serial reference at ranks
+// {1, 2, 7} on every CI smoke scenario; the failure-injection tests use the
+// QPLEC_NET_KILL_RANK hook to SIGKILL a worker mid-solve and demand a
+// non-throwing SolveStatus::kBackendFailure — never a hang, never a zombie,
+// and never a poisoned result cache.
+#include "src/dist/process_backend.hpp"
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "src/coloring/problem.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/builder.hpp"
+#include "src/net/codec.hpp"
+#include "src/runtime/scenarios.hpp"
+#include "src/service/solve_service.hpp"
+#include "tests/support/smoke_manifest.hpp"
+
+namespace qplec {
+namespace {
+
+using test_support::smoke_scenarios;
+
+const int kRankCounts[] = {1, 2, 7};
+
+ExecConfig process_config(int ranks) {
+  ExecConfig config;
+  config.backend = BackendKind::kProcess;
+  config.ranks = ranks;
+  return config;
+}
+
+/// Clears the kill-injection hook even when a test fails mid-body.
+struct KillRankEnv {
+  explicit KillRankEnv(int rank) {
+    ::setenv("QPLEC_NET_KILL_RANK", std::to_string(rank).c_str(), 1);
+  }
+  ~KillRankEnv() { ::unsetenv("QPLEC_NET_KILL_RANK"); }
+};
+
+// The tentpole invariant: the process backend is bit-identical to the serial
+// reference — same colors, same LOCAL round counts, same ledger report — at
+// every rank count, on every CI smoke scenario.  Rank 7 exceeds the edge
+// shards some tiny scenarios can sustain, so the ranks-own-nothing edge case
+// is covered too.
+TEST(ProcessBackend, BitIdenticalToSerialAcrossRankCounts) {
+  for (const Scenario& scenario : smoke_scenarios()) {
+    const ListEdgeColoringInstance instance = build_instance(scenario);
+    const SolveResult serial = Solver(make_policy(scenario.policy)).solve(instance);
+    for (const int ranks : kRankCounts) {
+      const SolveResult res =
+          Solver(make_policy(scenario.policy), process_config(ranks)).solve(instance);
+      EXPECT_EQ(res.colors, serial.colors) << scenario.name() << " ranks=" << ranks;
+      EXPECT_EQ(res.rounds, serial.rounds) << scenario.name() << " ranks=" << ranks;
+      EXPECT_EQ(res.raw_rounds, serial.raw_rounds) << scenario.name() << " ranks=" << ranks;
+      EXPECT_EQ(res.round_report, serial.round_report)
+          << scenario.name() << " ranks=" << ranks;
+    }
+  }
+}
+
+// The relaxed-slack entry point crosses the process boundary too (slack is
+// part of the serialized job).
+TEST(ProcessBackend, RelaxedSolveMatchesSerial) {
+  const Scenario scenario = smoke_scenarios()[0];
+  const ListEdgeColoringInstance instance = build_instance(scenario);
+  const SolveResult serial =
+      Solver(make_policy(scenario.policy)).solve_relaxed(instance, 1.0);
+  const SolveResult res = Solver(make_policy(scenario.policy), process_config(2))
+                              .solve_relaxed(instance, 1.0);
+  EXPECT_EQ(res.colors, serial.colors);
+  EXPECT_EQ(res.rounds, serial.rounds);
+}
+
+// An empty graph never forks: Solver::run's empty-instance early-return sits
+// before backend routing.
+TEST(ProcessBackend, EmptyGraphShortCircuitsWithoutForking) {
+  GraphBuilder builder(3);
+  const ListEdgeColoringInstance instance = make_two_delta_instance(builder.build());
+  const SolveResult res = Solver(Policy::practical(), process_config(4)).solve(instance);
+  EXPECT_TRUE(res.colors.empty());
+  EXPECT_EQ(res.rounds, 0);
+}
+
+// Killing a worker mid-solve surfaces as BackendError from the direct Solver
+// path — the hub translates the dead socket, it does not hang on it.
+TEST(ProcessBackend, KilledRankThrowsBackendErrorFromDirectSolver) {
+  const KillRankEnv kill(1);
+  const ListEdgeColoringInstance instance = build_instance(smoke_scenarios()[0]);
+  EXPECT_THROW(Solver(Policy::practical(), process_config(2)).solve(instance),
+               net::BackendError);
+}
+
+// The same failure through the service front door: a non-throwing outcome
+// with SolveStatus::kBackendFailure, a populated error and queue timing, and
+// no zombie left behind (the hub reaps every rank it spawned).
+TEST(ProcessBackend, KilledRankYieldsBackendFailureOutcomeNotHang) {
+  const Scenario scenario = smoke_scenarios()[0];
+  SolveOutcome out;
+  {
+    const KillRankEnv kill(0);
+    SolveService service(process_config(2));
+    out = service.submit(SolveRequest::from_scenario(scenario)).wait();
+  }
+  EXPECT_EQ(out.status, SolveStatus::kBackendFailure);
+  EXPECT_FALSE(out.error.empty());
+  EXPECT_GE(out.queue_ms, 0.0);
+  EXPECT_FALSE(out.valid);
+  // Every rank the hub forked must be reaped: a lingering zombie would be a
+  // child of THIS process, visible as a waitable pid.
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+// A failed solve must never populate the result cache: resubmitting the same
+// request after the fault clears has to solve fresh and succeed, not replay
+// the cached failure (and not report a cache hit).
+TEST(ProcessBackend, FailedSolveNeverPopulatesResultCache) {
+  const Scenario scenario = smoke_scenarios()[0];
+  SolveService service(process_config(2));
+  {
+    const KillRankEnv kill(1);
+    const SolveOutcome failed =
+        service.submit(SolveRequest::from_scenario(scenario)).wait();
+    ASSERT_EQ(failed.status, SolveStatus::kBackendFailure);
+  }
+  const SolveOutcome retry = service.submit(SolveRequest::from_scenario(scenario)).wait();
+  EXPECT_EQ(retry.status, SolveStatus::kOk);
+  EXPECT_TRUE(retry.valid);
+  EXPECT_FALSE(retry.cache_hit);
+}
+
+// Service-path differential: the same scenario through the process backend
+// and through the default path produces the same coloring fingerprint.
+TEST(ProcessBackend, ServiceOutcomeMatchesSerialFingerprint) {
+  const Scenario scenario = smoke_scenarios()[1];
+  SolveOutcome serial_out;
+  {
+    SolveService service{ExecConfig{}};
+    serial_out = service.submit(SolveRequest::from_scenario(scenario)).wait();
+  }
+  SolveOutcome process_out;
+  {
+    SolveService service(process_config(2));
+    process_out = service.submit(SolveRequest::from_scenario(scenario)).wait();
+  }
+  ASSERT_EQ(serial_out.status, SolveStatus::kOk);
+  ASSERT_EQ(process_out.status, SolveStatus::kOk);
+  EXPECT_EQ(process_out.colors_hash, serial_out.colors_hash);
+  EXPECT_EQ(process_out.result.rounds, serial_out.result.rounds);
+  EXPECT_TRUE(process_out.valid);
+}
+
+// Oversubscription clamps instead of failing: more ranks than edges still
+// solves (the surplus ranks own nothing but keep the collectives honest).
+TEST(ProcessBackend, MoreRanksThanEdgesStillSolves) {
+  const ListEdgeColoringInstance instance = build_instance(smoke_scenarios()[0]);
+  const SolveResult serial = Solver(Policy::practical()).solve(instance);
+  const SolveResult res = Solver(Policy::practical(), process_config(64)).solve(instance);
+  EXPECT_EQ(res.colors, serial.colors);
+}
+
+}  // namespace
+}  // namespace qplec
+
+// Custom main: the worker guard MUST run before gtest — when this binary is
+// re-exec'd as a rank worker, the guard takes over and never returns.
+int main(int argc, char** argv) {
+  qplec::process_worker_guard(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
